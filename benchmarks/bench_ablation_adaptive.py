@@ -1,0 +1,60 @@
+"""Ablation: the checkpoint-frequency guesswork JIT eliminates.
+
+The paper's conclusion: "failures are highly unpredictable and failure
+rates are variable from job run to run, [so] it is difficult to calculate
+the optimal checkpoint frequency ... users often guess or estimate the
+frequency which may be too high or too low".  We quantify it: run the
+CheckFreq-style adaptive tuner with failure-rate estimates that are right,
+100x too high and 100x too low against the *actual* failure process, and
+measure wasted time — then show JIT's wasted time with no tuning at all.
+"""
+
+from benchmarks.conftest import fmt, print_table, run_once
+from repro.analysis.model import CostParameters, periodic_wasted_per_gpu, \
+    jit_user_level_wasted_per_gpu, optimal_checkpoint_frequency, \
+    wasted_fraction
+from repro.workloads.catalog import WORKLOADS
+from repro.analysis import CalibratedParameters
+
+DAY = 86400.0
+TRUE_RATE = 2e-3 / DAY   # the OPT anchor
+
+
+def analyze(n_gpus: int):
+    spec = WORKLOADS["BERT-L-PT"]
+    params = CalibratedParameters.from_spec(spec).params
+    true_params = CostParameters(params.checkpoint_overhead, TRUE_RATE,
+                                 params.fixed_recovery,
+                                 params.minibatch_time)
+    rows = []
+    for label, guess in (("right", TRUE_RATE), ("100x high", TRUE_RATE * 100),
+                         ("100x low", TRUE_RATE / 100)):
+        c_guess = optimal_checkpoint_frequency(
+            n_gpus, guess, params.checkpoint_overhead)
+        # Wasted time under the TRUE failure process with the GUESSED
+        # frequency.
+        w = periodic_wasted_per_gpu(n_gpus, true_params,
+                                    checkpoint_frequency=c_guess)
+        rows.append({"guess": label, "per_hr": c_guess * 3600,
+                     "wasted": wasted_fraction(w)})
+    jit = wasted_fraction(jit_user_level_wasted_per_gpu(n_gpus, true_params))
+    return rows, jit
+
+
+def bench_ablation_frequency_guesswork(benchmark):
+    n = 1024
+    rows, jit = run_once(benchmark, lambda: analyze(n))
+    optimal = min(r["wasted"] for r in rows)
+    print_table(
+        f"Ablation: periodic checkpointing with a wrong failure-rate guess "
+        f"(BERT-L-PT, N={n})",
+        ["failure-rate guess", "chosen frequency", "wasted time w_f"],
+        [[r["guess"], f"{r['per_hr']:.2f}/hr", f"{100 * r['wasted']:.2f}%"]
+         for r in rows] + [["(user-level JIT, no guess needed)", "-",
+                            f"{100 * jit:.2f}%"]])
+    by_guess = {r["guess"]: r for r in rows}
+    # A wrong guess in either direction wastes more than the right one.
+    assert by_guess["100x high"]["wasted"] > by_guess["right"]["wasted"]
+    assert by_guess["100x low"]["wasted"] > by_guess["right"]["wasted"]
+    # And JIT beats even the perfectly tuned periodic schedule.
+    assert jit < by_guess["right"]["wasted"]

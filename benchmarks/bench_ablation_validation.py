@@ -1,0 +1,70 @@
+"""Ablation: replay-log validation frequency vs steady-state overhead.
+
+Section 4.1 validates the replay log at minibatch 5 and then every N
+minibatches.  Each validation re-executes one forward+backward, so the
+amortised overhead is ~minibatch_time / N — negligible for large N, which
+is why the paper defaults to sparse validation.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt, fmt_pct, print_table, run_once
+from repro.core import JitConfig, TransparentJitSystem
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+from repro.workloads.catalog import WORKLOADS
+
+ITERS = 40
+
+
+def run_with_interval(interval) -> dict:
+    spec = WORKLOADS["GPT2-S"]
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    if interval is None:
+        config = JitConfig(validation_start_iteration=10**9)
+    else:
+        config = JitConfig(validation_start_iteration=5,
+                           validation_interval=interval)
+    system = TransparentJitSystem(env, spec, store=store, config=config)
+    job = system.build_job()
+    losses = system.run_training(job, ITERS)
+    validations = sum(len(p.validation_results) for p in system.proxies) \
+        // len(system.proxies)
+    all_passed = all(all(p.validation_results) for p in system.proxies)
+    return {"time": env.now, "validations": validations,
+            "passed": all_passed, "losses": losses}
+
+
+def bench_ablation_validation_interval(benchmark):
+    def run():
+        baseline = run_with_interval(None)
+        rows = []
+        for interval in (4, 10, 20):
+            result = run_with_interval(interval)
+            overhead = (result["time"] - baseline["time"]) / baseline["time"]
+            rows.append({"interval": interval, **result,
+                         "overhead": overhead})
+        return baseline, rows
+
+    baseline, rows = run_once(benchmark, run)
+    print_table(
+        "Ablation: replay-log validation interval (GPT2-S, 40 iterations)",
+        ["validate every N iters", "validations run", "all passed",
+         "steady-state overhead"],
+        [[r["interval"], r["validations"], r["passed"],
+          fmt_pct(r["overhead"], 2)] for r in rows])
+    for r in rows:
+        assert r["passed"]
+        # Validation never changes semantics.
+        assert r["losses"] == baseline["losses"]
+    by_interval = {r["interval"]: r for r in rows}
+    # Overhead shrinks as validation gets sparser.
+    assert (by_interval[4]["overhead"] > by_interval[10]["overhead"]
+            > by_interval[20]["overhead"] >= 0)
+    # Each validation costs about one extra forward+backward.
+    spec = WORKLOADS["GPT2-S"]
+    per_validation = ((by_interval[4]["time"] - baseline["time"])
+                      / by_interval[4]["validations"])
+    assert per_validation == pytest.approx(spec.minibatch_time, rel=0.5)

@@ -1,0 +1,94 @@
+"""Ablation: watchdog timeout vs detection latency and false positives.
+
+The watchdog timeout trades detection speed against false alarms: a
+timeout shorter than a legitimate collective gap declares hangs during
+healthy training; a long timeout adds dead time before every recovery.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt, print_table, run_once
+from repro.core import JitConfig, TransparentJitSystem
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.hardware.specs import V100_NODE
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads.catalog import WorkloadSpec
+
+#: Two-node data-parallel job so a downed uplink produces a *pure* hang —
+#: no error code ever surfaces, only the watchdog timeout can detect it.
+SPEC = WorkloadSpec(name="WD-ABLATION", model="BERT-B-FT",
+                    node_spec=V100_NODE, num_nodes=2,
+                    layout=ParallelLayout(dp=12), engine="ddp",
+                    framework="test", minibatch_time=0.4,
+                    global_batch=24)
+
+
+def run_with_timeout(timeout: float, inject: bool) -> dict:
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    config = JitConfig(validation_start_iteration=10**9)
+    system = TransparentJitSystem(env, SPEC, store=store, config=config)
+    system.watchdog_timeout = timeout          # override the safe default
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    fail_time = {"t": None}
+    if inject:
+        original_apply = injector.apply
+
+        def apply(event):
+            fail_time["t"] = env.now
+            original_apply(event)
+
+        injector.apply = apply
+        injector.arm_at_iteration(
+            FailureEvent(0.0, FailureType.NETWORK_TRANSIENT, "node0",
+                         duration=60.0),
+            job.engines, 5, offset=0.1)
+    losses = system.run_training(job, 10)
+    detection = None
+    if inject and system.telemetry.records:
+        detection = (system.telemetry.records[0].detected_at
+                     - fail_time["t"] - system.coordinator.settle_time)
+    return {
+        "recoveries": len(system.telemetry.records),
+        "detection_latency": detection,
+        "completed": all(len(h) == 10 for h in losses if h),
+    }
+
+
+def bench_ablation_watchdog_timeout(benchmark):
+    def run():
+        rows = []
+        for timeout in (0.1, 0.5, 2.0, 8.0):
+            healthy = run_with_timeout(timeout, inject=False)
+            failing = run_with_timeout(timeout, inject=True)
+            rows.append({
+                "timeout": timeout,
+                "false_positives": healthy["recoveries"],
+                "detection": failing["detection_latency"],
+                "recovered": failing["completed"],
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table(
+        "Ablation: watchdog timeout (2-node DDP, minibatch 0.4s, "
+        "pure-hang network failure)",
+        ["timeout (s)", "false positives (healthy run)",
+         "detection latency (s)", "recovered"],
+        [[r["timeout"], r["false_positives"],
+          fmt(r["detection"]) if r["detection"] is not None else "-",
+          r["recovered"]] for r in rows])
+    by_timeout = {r["timeout"]: r for r in rows}
+    # A timeout far below the minibatch time fires on healthy training.
+    assert by_timeout[0.1]["false_positives"] > 0
+    # Timeouts above the collective gap never fire spuriously.
+    assert by_timeout[2.0]["false_positives"] == 0
+    assert by_timeout[8.0]["false_positives"] == 0
+    # Detection latency grows with the timeout (dead time before
+    # recovery); every setting still recovers eventually.
+    assert by_timeout[8.0]["detection"] > by_timeout[2.0]["detection"]
+    for r in rows:
+        assert r["recovered"]

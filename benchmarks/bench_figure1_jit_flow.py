@@ -1,0 +1,55 @@
+"""Figure 1: the just-in-time checkpointing flow, as an event timeline.
+
+Reconstructs the figure's narrative from an actual simulated run: failure
+happens -> healthy replicas detect the hang -> they checkpoint GPU state
+just in time -> the scheduler restarts the job on healthy GPUs -> training
+resumes having redone at most one minibatch.
+"""
+
+from benchmarks.conftest import print_table, run_once, run_user_level_with_failure
+from repro.failures import FailureType
+from repro.workloads.catalog import WORKLOADS
+
+
+def run_flow():
+    spec = WORKLOADS["GPT2-S"]
+    runner, report = run_user_level_with_failure(
+        spec, FailureType.GPU_HARD, target_iterations=14,
+        fail_at_iteration=6)
+    timeline = []
+    hang_rank, hang_iter = runner.coordinator.hang_reports[0]
+    detect_time = runner.telemetry.records[0].detected_at
+    timeline.append((detect_time, f"hang detected by watchdog "
+                                  f"(first: rank {hang_rank}, "
+                                  f"iteration {hang_iter})"))
+    for record in runner.telemetry.by_kind("user_level"):
+        if "checkpoint_failed" in record.notes:
+            timeline.append((record.finished_at,
+                             f"rank {record.rank}: GPU gone, no checkpoint"))
+        else:
+            timeline.append((record.finished_at,
+                             f"rank {record.rank}: JIT checkpoint written "
+                             f"(iteration {record.notes['iteration']})"))
+    gen1 = report.generations[1]
+    timeline.append((gen1.start_time, "scheduler restarts job on healthy GPUs"))
+    for record in runner.telemetry.by_kind("user_level_restore"):
+        timeline.append((record.finished_at,
+                         f"rank {record.rank}: restored, resumes at "
+                         f"iteration {record.notes['iteration']}"))
+    timeline.append((gen1.end_time, f"training complete "
+                                    f"({report.target_iterations} iterations)"))
+    return runner, report, sorted(timeline)
+
+
+def bench_figure1_jit_checkpointing_flow(benchmark):
+    runner, report, timeline = run_once(benchmark, run_flow)
+    print_table("Figure 1: just-in-time checkpointing flow (GPT2-S, hard "
+                "GPU failure)",
+                ["t (s)", "event"],
+                [[f"{t:8.2f}", event] for t, event in timeline])
+    assert report.completed
+    # The essence of Figure 1: recovery redoes at most one minibatch.
+    hang_iteration = runner.coordinator.hang_reports[0][1]
+    resume_iterations = {r.notes["iteration"]
+                         for r in runner.telemetry.by_kind("user_level_restore")}
+    assert resume_iterations == {hang_iteration}

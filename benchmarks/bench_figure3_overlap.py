@@ -1,0 +1,82 @@
+"""Figure 3: computation/communication synchronisation in DL frameworks.
+
+Reconstructs the figure from an actual simulated iteration: backward-pass
+kernels on the compute stream, all-reduces scheduled opportunistically on
+the communication stream as each layer's gradients become ready, and the
+optimizer gated by cudaStreamWaitEvent on the all-reduce events.
+
+Measures the overlap the schedule achieves (all-reduce time hidden behind
+backward compute) and verifies the ordering invariants.
+"""
+
+from benchmarks.conftest import fmt, print_table, run_once
+from repro.sim import Tracer
+from repro.workloads import TrainingJob
+from repro.workloads.catalog import WORKLOADS
+
+
+def run_schedule():
+    spec = WORKLOADS["BERT-L-PT"]
+    tracer = Tracer(enabled=True)
+    job = TrainingJob(spec, tracer=tracer)
+    job.run_training(3)
+    engine = job.engines[0]
+    compute_name = engine.compute_stream.name
+    comm_name = engine.comm_stream.name
+    ops = [e for e in tracer.events if e.action == "op_done"
+           and e.actor in (compute_name, comm_name)]
+    # Analyse the last iteration only (steady state).
+    bwd_ops = [e for e in ops if e.actor == compute_name
+               and e.detail["op"].startswith("bwd")]
+    ar_ops = [e for e in ops if e.actor == comm_name
+              and "all_reduce" in e.detail["op"]]
+    last_iter_start = bwd_ops[-engine.config.n_layers].detail["started"]
+    bwd_window = [e for e in bwd_ops if e.detail["started"] >= last_iter_start]
+    ar_window = [e for e in ar_ops if e.detail["started"] >= last_iter_start]
+    opt_ops = [e for e in ops if e.actor == compute_name
+               and e.detail["op"] == "optimizer"
+               and e.detail["started"] >= last_iter_start]
+
+    bwd_end = max(e.time for e in bwd_window)
+    ar_total = sum(e.time - e.detail["started"] for e in ar_window)
+    ar_hidden = sum(min(e.time, bwd_end) - e.detail["started"]
+                    for e in ar_window if e.detail["started"] < bwd_end)
+    overlap = ar_hidden / ar_total if ar_total else 0.0
+    return {
+        "job": job,
+        "n_allreduces": len(ar_window),
+        "ar_total": ar_total,
+        "overlap": overlap,
+        "first_ar_start": min(e.detail["started"] for e in ar_window),
+        "bwd_end": bwd_end,
+        "opt_start": opt_ops[0].detail["started"],
+        "last_ar_end": max(e.time for e in ar_window),
+        "schedule": sorted(
+            [(e.detail["started"], e.time,
+              "compute" if e.actor == compute_name else "comm",
+              e.detail["op"]) for e in bwd_window + ar_window + opt_ops]),
+    }
+
+
+def bench_figure3_compute_comm_overlap(benchmark):
+    result = run_once(benchmark, run_schedule)
+    rows = [[fmt(start, 4), fmt(end, 4), stream, op]
+            for start, end, stream, op in result["schedule"][:16]]
+    print_table(
+        "Figure 3: compute/communication schedule (BERT-L-PT, one iteration,"
+        " first 16 ops)",
+        ["start", "end", "stream", "op"], rows)
+    print_table(
+        "Figure 3: overlap summary",
+        ["all-reduces", "AR time (s)", "hidden behind backward"],
+        [[result["n_allreduces"], fmt(result["ar_total"], 4),
+          f"{100 * result['overlap']:.0f}%"]])
+    # Figure 3's invariants:
+    # 1. multiple all-reduces are scheduled while backward still runs;
+    assert result["first_ar_start"] < result["bwd_end"]
+    assert result["n_allreduces"] >= 8
+    # 2. most all-reduce time is hidden behind compute;
+    assert result["overlap"] > 0.5
+    # 3. the optimizer runs only after the last all-reduce completes (the
+    #    cudaStreamWaitEvent gate).
+    assert result["opt_start"] >= result["last_ar_end"]

@@ -1,0 +1,48 @@
+"""Section 5.1: dollar cost of errors under periodic checkpointing.
+
+Reproduces the paper's worked example — a 1000-GPU job at 1 failure/day
+losing half a 30-minute checkpoint interval per failure costs ~$30,000 a
+month at $4/GPU-hour; a 10,000-GPU job scales quadratically to ~$3M —
+and contrasts it with the JIT cost (half a minibatch redone per failure).
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.analysis import dollar_cost_per_month
+from repro.analysis.model import failures_per_day_for
+
+CHECKPOINT_INTERVAL_HOURS = 0.5
+MINIBATCH_SECONDS = 3.0   # large-model minibatch (Table 4 scale)
+RECOVERY_FIXED_HOURS = 30.0 / 3600  # JIT restart fixed cost ~30s
+
+
+def scenario(n_gpus: int, per_gpu_failures_per_day: float) -> dict:
+    failures_per_day = failures_per_day_for(n_gpus, per_gpu_failures_per_day)
+    periodic = dollar_cost_per_month(
+        n_gpus, failures_per_day,
+        lost_hours_per_failure=CHECKPOINT_INTERVAL_HOURS / 2)
+    jit = dollar_cost_per_month(
+        n_gpus, failures_per_day,
+        lost_hours_per_failure=(MINIBATCH_SECONDS / 2 / 3600
+                                + RECOVERY_FIXED_HOURS))
+    return {"n": n_gpus, "failures_per_day": failures_per_day,
+            "periodic": periodic, "jit": jit}
+
+
+def bench_s51_dollar_cost_of_errors(benchmark):
+    per_gpu_rate = 1.0 / 1000.0  # paper: ~1 error/day per 1000 GPUs
+    rows = run_once(benchmark,
+                    lambda: [scenario(n, per_gpu_rate)
+                             for n in (1000, 4000, 10_000)])
+    print_table(
+        "Section 5.1: monthly dollar cost of failures ($4/GPU-hour)",
+        ["GPUs", "failures/day", "periodic (30-min ckpts)", "JIT"],
+        [[r["n"], f"{r['failures_per_day']:.1f}",
+          f"${r['periodic']:,.0f}", f"${r['jit']:,.0f}"] for r in rows],
+        note="paper: $30k/month at 1000 GPUs, ~$3M at 10,000 (quadratic)")
+    by_n = {r["n"]: r for r in rows}
+    assert by_n[1000]["periodic"] == 30_000
+    assert by_n[10_000]["periodic"] == 3_000_000
+    # Quadratic scaling for periodic; JIT stays ~100x cheaper.
+    assert by_n[10_000]["periodic"] == 100 * by_n[1000]["periodic"]
+    for row in rows:
+        assert row["jit"] < row["periodic"] / 10

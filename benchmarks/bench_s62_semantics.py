@@ -1,0 +1,80 @@
+"""Section 6.2's semantics claim: "we validate exact floating point match
+of training losses with and without JIT-checkpointing (under
+deterministic conditions)".
+
+Runs the same workload failure-free, under user-level JIT with a failure,
+and under transparent JIT with a failure, and checks the three loss
+streams match exactly, element by element.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    print_table,
+    run_once,
+    run_transparent_with_failure,
+    run_user_level_with_failure,
+)
+from repro.failures import FailureType
+from repro.workloads import TrainingJob
+from repro.workloads.catalog import WORKLOADS
+
+ITERS = 16
+
+
+def run_all():
+    spec = WORKLOADS["GPT2-S"]
+    baseline = TrainingJob(spec).run_training(ITERS)[0]
+
+    _runner, report = run_user_level_with_failure(
+        spec, FailureType.GPU_HARD, target_iterations=ITERS,
+        fail_at_iteration=7)
+    user_level = report.final_losses
+
+    _system, _job, transparent_all = run_transparent_with_failure(
+        spec, FailureType.GPU_STICKY, target_iterations=ITERS,
+        fail_at_iteration=7)
+    transparent = transparent_all[0]
+    return baseline, user_level, transparent
+
+
+def bench_s62_exact_loss_match(benchmark):
+    baseline, user_level, transparent = run_once(benchmark, run_all)
+    rows = []
+    for i in (0, 5, 7, 8, ITERS - 1):
+        rows.append([i, f"{baseline[i]:.17g}", f"{user_level[i]:.17g}",
+                     f"{transparent[i]:.17g}"])
+    print_table(
+        "Section 6.2: exact floating-point loss match (GPT2-S, failure at "
+        "iteration 7)",
+        ["iter", "failure-free", "user-level JIT", "transparent JIT"],
+        rows)
+    assert user_level == baseline      # bitwise, all 16 iterations
+    assert transparent == baseline     # bitwise, all 16 iterations
+
+
+def bench_s62_final_model_state_matches(benchmark):
+    """Beyond losses: the final parameters are bitwise identical too."""
+    def run():
+        spec = WORKLOADS["GPT2-S"]
+        plain = TrainingJob(spec)
+        plain.run_training(ITERS)
+        reference = {name: buf.array.copy()
+                     for name, buf in plain.engines[0].param_buffers.items()}
+        system, job, _ = run_transparent_with_failure(
+            spec, FailureType.GPU_DRIVER_CORRUPT, target_iterations=ITERS,
+            fail_at_iteration=7)
+        recovered = {name: buf.array.copy()
+                     for name, buf in job.engines[0].param_buffers.items()}
+        return reference, recovered
+
+    reference, recovered = run_once(benchmark, run)
+    mismatches = [name for name in reference
+                  if not np.array_equal(reference[name],
+                                        recovered[name].astype(
+                                            reference[name].dtype))]
+    print_table(
+        "Section 6.2: final parameter state after recovery",
+        ["parameters compared", "bitwise mismatches"],
+        [[len(reference), len(mismatches)]])
+    assert mismatches == []

@@ -1,0 +1,59 @@
+"""Simulator performance micro-benchmarks (real wall-clock this time).
+
+Every other bench measures *simulated* seconds; these measure the
+simulator itself, so regressions in the event loop or the CUDA/NCCL
+layers show up in CI.  pytest-benchmark's timing columns are the result.
+"""
+
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.workloads import TrainingJob, WorkloadSpec
+from repro.hardware.specs import V100_NODE
+
+
+def bench_event_loop_throughput(benchmark):
+    """Raw engine: schedule/dispatch 50k timeout events."""
+    def run():
+        env = Environment()
+
+        def ticker(n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ticker(5000))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 5000.0
+
+
+def bench_ddp_training_throughput(benchmark):
+    """Full stack: 4-rank DDP, 10 iterations (~15k sim events)."""
+    spec = WorkloadSpec(name="PERF", model="GPT2-S", node_spec=V100_NODE,
+                        num_nodes=1, layout=ParallelLayout(dp=4),
+                        engine="ddp", framework="bench",
+                        minibatch_time=0.05)
+
+    def run():
+        job = TrainingJob(spec)
+        return job.run_training(10)
+
+    losses = benchmark(run)
+    assert len(losses[0]) == 10
+
+
+def bench_3d_training_throughput(benchmark):
+    """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
+    spec = WorkloadSpec(name="PERF3D", model="GPT2-S", node_spec=V100_NODE,
+                        num_nodes=1, layout=ParallelLayout(dp=2, pp=2, tp=2),
+                        engine="3d", framework="bench",
+                        minibatch_time=0.05)
+
+    def run():
+        job = TrainingJob(spec)
+        return job.run_training(6)
+
+    losses = benchmark(run)
+    assert any(losses)

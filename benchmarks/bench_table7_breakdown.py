@@ -1,0 +1,99 @@
+"""Table 7: step-by-step breakdown of transparent transient recovery.
+
+The paper's breakdown (one 8xV100 rank worker): deleting communicators and
+GPU handles ~1s; recreating NCCL communicators dominates (1-15.5s);
+resetting GPU buffers, recreating handles and replaying minibatch APIs are
+all milliseconds.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    print_table,
+    run_once,
+    run_transparent_with_failure,
+)
+from repro.core import JitConfig
+from repro.failures import FailureType
+from repro.workloads.catalog import WORKLOADS
+
+MODELS = ["BERT-B-FT", "GPT2-S", "GPT2-S-3D", "PyramidNet"]
+
+#: Paper Table 7 rows: phase -> per-model seconds.
+PAPER = {
+    "delete_comms_handles": (1.013, 0.779, 0.831, 0.850),
+    "recreate_comms": (1.054, 8.340, 15.54, 1.038),
+    "reset_buffers": (0.001, 0.001, 0.001, 0.002),
+    "recreate_handles": (0.006, 0.004, 0.004, 0.027),
+    "replay": (0.006, 0.004, 0.002, 0.004),
+}
+
+PHASES = ["delete_comms_handles", "recreate_comms", "reset_buffers",
+          "recreate_handles", "replay"]
+
+
+def measure(name: str) -> dict:
+    spec = WORKLOADS[name]
+    config = JitConfig(validation_start_iteration=10**9)
+    system, job, _ = run_transparent_with_failure(
+        spec, FailureType.GPU_STICKY, target_iterations=12,
+        fail_at_iteration=5, config=config)
+    record = system.telemetry.by_kind("transient")[0]
+    breakdown = record.breakdown()
+    # Table 7 is measured "on one rank worker" that kept its GPU state:
+    # report a healthy rank's buffer reset, not the barrier maximum
+    # (which includes the failed rank's proxy restart + replica copy).
+    reset_times = record.notes["reset_time_by_rank"]
+    healthy_resets = [t for rank, t in reset_times.items()
+                      if t == min(reset_times.values())]
+    breakdown["reset_buffers"] = healthy_resets[0]
+    return breakdown
+
+
+def bench_table7_recovery_breakdown(benchmark):
+    breakdowns = run_once(benchmark,
+                          lambda: {m: measure(m) for m in MODELS})
+    rows = []
+    for i, phase in enumerate(PHASES):
+        row = [phase]
+        for model in MODELS:
+            row.append(f"{breakdowns[model].get(phase, 0.0):.3f}")
+        row.append("/".join(str(PAPER[phase][j]) for j in range(len(MODELS))))
+        rows.append(row)
+    print_table(
+        "Table 7: transparent transient recovery breakdown (seconds)",
+        ["Step"] + MODELS + ["paper (same order)"],
+        rows,
+        note="shape target: NCCL communicator recreation dominates; "
+             "buffer reset / handle recreation / replay are milliseconds")
+    for model in MODELS:
+        b = breakdowns[model]
+        # Comm re-init is the dominant step.
+        assert b["recreate_comms"] == max(b[p] for p in PHASES), model
+        # Reset / handles / replay are sub-100ms bookkeeping.
+        assert b["reset_buffers"] < 0.1
+        assert b["recreate_handles"] < 0.1
+        assert b["replay"] < 0.1
+        # Deleting comms+handles is of order a second.
+        assert 0.3 < b["delete_comms_handles"] < 3.0
+
+
+def bench_table7_comm_reinit_scales_with_span(benchmark):
+    """More ranks / more nodes -> costlier communicator recreation."""
+    def run():
+        small = measure("PyramidNet")      # 4 GPUs, one node
+        spec_big = WORKLOADS["GPT2-8B"]    # 16 GPUs over two nodes
+        config = JitConfig(validation_start_iteration=10**9)
+        system, _, _ = run_transparent_with_failure(
+            spec_big, FailureType.GPU_STICKY, target_iterations=10,
+            fail_at_iteration=4, config=config)
+        big = system.telemetry.by_kind("transient")[0].breakdown()
+        return small, big
+
+    small, big = run_once(benchmark, run)
+    print_table(
+        "Communicator re-init vs job span",
+        ["Job", "recreate_comms (s)"],
+        [["PyramidNet (4 GPU, 1 node)", f"{small['recreate_comms']:.3f}"],
+         ["GPT2-8B (16 GPU, 2 nodes)", f"{big['recreate_comms']:.3f}"]])
+    assert big["recreate_comms"] > small["recreate_comms"]

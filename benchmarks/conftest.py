@@ -1,0 +1,115 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure from the paper.
+Benchmarks print a paper-style table (simulated-time measurements) and use
+``benchmark.pedantic(..., rounds=1)`` so the — potentially large —
+simulation executes exactly once per bench; the pytest-benchmark column
+then reports the simulator's wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JitConfig, TransparentJitSystem, UserLevelJitRunner
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob, WorkloadSpec
+
+
+def print_table(title: str, headers: list[str], rows: list[list],
+                note: str = "") -> None:
+    """Render a paper-style results table to stdout."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i])
+                        for i, cell in enumerate(row)))
+    if note:
+        print(f"({note})")
+    print()
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fmt_pct(fraction: float, digits: int = 3) -> str:
+    return f"{100 * fraction:.{digits}f}%"
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# -- scenario builders ---------------------------------------------------------------
+
+
+def measure_steady_minibatch(spec: WorkloadSpec, iterations: int = 8,
+                             warmup: int = 2) -> float:
+    """Steady-state minibatch time of a plain (uninstrumented) run."""
+    job = TrainingJob(spec)
+    job.run_training(warmup)
+    start = job.env.now
+    job.run_training(iterations)
+    return (job.env.now - start) / iterations
+
+
+def run_user_level_with_failure(spec: WorkloadSpec, failure_type,
+                                target_iterations: int = 20,
+                                fail_at_iteration: int = 8,
+                                failed_gpu: str | None = None):
+    """Drive a user-level JIT run with one failure; returns the runner
+    and the report."""
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(env, spec, store,
+                                target_iterations=target_iterations,
+                                progress_timeout=60.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    gpu_id = failed_gpu or "node0/gpu1"
+    armed = {"done": False}
+
+    def arm_on_generation(generation, job, workers):
+        if not armed["done"]:
+            armed["done"] = True
+            injector.arm_at_iteration(
+                FailureEvent(0.0, failure_type, gpu_id),
+                job.engines, fail_at_iteration)
+
+    original = runner._on_generation_start
+
+    def hook(generation, job, workers):
+        original(generation, job, workers)
+        arm_on_generation(generation, job, workers)
+
+    runner._on_generation_start = hook
+    report = runner.execute()
+    return runner, report
+
+
+def run_transparent_with_failure(spec: WorkloadSpec, failure_type,
+                                 target_iterations: int = 16,
+                                 fail_at_iteration: int = 6,
+                                 failed_gpu: str | None = None,
+                                 offset: float = 0.0,
+                                 config: JitConfig | None = None):
+    """Drive a transparent JIT run with one failure; returns the system,
+    job and per-rank losses."""
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(env, spec, store=store, config=config)
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, failure_type, failed_gpu or "node0/gpu1"),
+        job.engines, fail_at_iteration, offset=offset)
+    losses = system.run_training(job, target_iterations)
+    return system, job, losses

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Checkpoint-strategy planning with the Section 5 analytical model.
+
+You are about to launch a large training job.  How often should you
+checkpoint — and should you bother with periodic checkpointing at all?
+This example answers with the paper's cost model, calibrated against the
+simulated hardware: optimal frequency, wasted-time fraction, and monthly
+dollar cost for periodic vs just-in-time checkpointing, across job sizes.
+
+Run:  python examples/checkpoint_planning.py [model] [gpus ...]
+      python examples/checkpoint_planning.py GPT2-8B 512 4096
+"""
+
+import sys
+
+from repro.analysis import (
+    CalibratedParameters,
+    CostParameters,
+    dollar_cost_per_month,
+    jit_transparent_wasted_per_gpu,
+    jit_user_level_wasted_per_gpu,
+    optimal_checkpoint_frequency,
+    periodic_wasted_per_gpu,
+    wasted_fraction,
+)
+from repro.workloads.catalog import WORKLOADS
+
+DOLLARS_PER_GPU_HOUR = 4.0
+HOURS_PER_MONTH = 30 * 24
+
+
+def plan(model: str, gpu_counts: list[int]) -> None:
+    spec = WORKLOADS[model]
+    calibrated = CalibratedParameters.from_spec(spec)
+    params = calibrated.params
+    transparent_params = CostParameters(
+        checkpoint_overhead=params.checkpoint_overhead,
+        failure_rate=params.failure_rate,
+        fixed_recovery=0.0,
+        minibatch_time=params.minibatch_time)
+
+    print(f"Model: {spec.describe()}")
+    print(f"calibrated: checkpoint o={params.checkpoint_overhead:.1f}s, "
+          f"fixed recovery r={params.fixed_recovery:.1f}s, "
+          f"minibatch m={params.minibatch_time:.3f}s, "
+          f"failure rate f={params.failure_rate * 86400:.2e}/GPU/day\n")
+
+    header = (f"{'GPUs':>6}  {'ckpt every':>12}  {'w_f periodic':>12}  "
+              f"{'w_f user JIT':>12}  {'w_f transp.':>12}  "
+              f"{'$ periodic/mo':>14}  {'$ JIT/mo':>12}")
+    print(header)
+    print("-" * len(header))
+    for n in gpu_counts:
+        c_star = optimal_checkpoint_frequency(n, params.failure_rate,
+                                              params.checkpoint_overhead)
+        interval_min = 1 / c_star / 60
+        w_periodic = wasted_fraction(periodic_wasted_per_gpu(n, params))
+        w_user = wasted_fraction(jit_user_level_wasted_per_gpu(n, params))
+        w_transparent = wasted_fraction(
+            jit_transparent_wasted_per_gpu(n, transparent_params))
+        hours = HOURS_PER_MONTH
+        dollars_periodic = (w_periodic * n * hours * DOLLARS_PER_GPU_HOUR)
+        dollars_jit = (w_user * n * hours * DOLLARS_PER_GPU_HOUR)
+        print(f"{n:>6}  {interval_min:>9.1f} min  {100 * w_periodic:>11.3f}%  "
+              f"{100 * w_user:>11.3f}%  {100 * w_transparent:>11.4f}%  "
+              f"${dollars_periodic:>13,.0f}  ${dollars_jit:>11,.0f}")
+    print("\n(w_f = wasted GPU-time fraction; periodic at its *optimal* "
+          "frequency; dollar costs at $4/GPU-hour)")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    model = args[0] if args else "GPT2-8B"
+    gpu_counts = [int(a) for a in args[1:]] or [8, 64, 512, 1024, 8192]
+    if model not in WORKLOADS:
+        raise SystemExit(f"unknown model {model!r}; "
+                         f"choose from {sorted(WORKLOADS)}")
+    plan(model, gpu_counts)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Anatomy of the device proxy: what the transparent design actually logs.
+
+Peeks inside one rank's proxy during a short DDP run: the creation log
+(GPU objects made at setup), the per-minibatch replay log and its phase
+tags, the watchdog's watch-list, the opt-done version counter, and the
+replay-log validation verdict — the moving parts of the paper's Section 4,
+made inspectable.
+
+Run:  python examples/proxy_anatomy.py
+"""
+
+from collections import Counter
+
+from repro.core import JitConfig, TransparentJitSystem
+from repro.sim import Environment
+from repro.workloads.catalog import WORKLOADS
+
+ITERATIONS = 8
+
+
+def main() -> None:
+    spec = WORKLOADS["GPT2-S"]
+    env = Environment()
+    system = TransparentJitSystem(
+        env, spec, config=JitConfig(validation_start_iteration=5))
+    job = system.build_job()
+    system.run_training(job, ITERATIONS)
+
+    proxy = system.proxies[0]
+    print(f"Workload: {spec.describe()}")
+    print(f"Rank 0 proxy after {ITERATIONS} iterations\n")
+
+    print("== creation log (persistent GPU objects, replayed after reset) ==")
+    created = Counter(r.method for r in proxy.log.creation_records)
+    for method, count in sorted(created.items()):
+        print(f"  {method:<16} x{count}")
+    params = proxy.persistent_buffers()
+    print(f"  persistent buffers: {len(params)} "
+          f"({proxy.persistent_state_bytes() / 1024**3:.2f} GB logical)")
+    print(f"  example allocation tags (cross-rank checkpoint identity):")
+    for vbuf in params[:3]:
+        print(f"    {vbuf.allocation_tag}")
+
+    print(f"\n== replay log for minibatch {proxy.log.current_minibatch} "
+          f"(cleared at every minibatch start) ==")
+    by_method = Counter(r.method for r in proxy.log.records)
+    for method, count in sorted(by_method.items()):
+        print(f"  {method:<18} x{count}")
+    by_phase = Counter(r.phase.value for r in proxy.log.records)
+    print(f"  by phase: {dict(by_phase)}")
+    print(f"  previous minibatch retained: "
+          f"{len(proxy.log.previous_records)} records "
+          f"(for one-version rollback)")
+    print(f"  total APIs logged over the run: {proxy.log.total_logged}")
+
+    print("\n== version / hang-detection state ==")
+    print(f"  device-completed optimizer steps: {proxy.completed_steps} "
+          f"(CPU is at minibatch {proxy.current_minibatch})")
+    print(f"  watchdog watch-list: {proxy.watchdog.pending} pending "
+          f"collective-ordered events "
+          f"(timeout {proxy.watchdog.timeout:.1f}s)")
+
+    print("\n== replay-log validation (Section 4.1) ==")
+    print(f"  validated at iteration "
+          f"{system.config.validation_start_iteration}: "
+          f"{proxy.validation_results}")
+    print("  (checksums before vs after an in-place re-execution of the "
+          "logged forward+backward)")
+
+    assert proxy.validation_results == [True]
+    assert proxy.completed_steps >= ITERATIONS - 1
+
+
+if __name__ == "__main__":
+    main()

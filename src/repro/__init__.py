@@ -1,0 +1,21 @@
+"""repro — reproduction of "Just-In-Time Checkpointing: Low Cost Error
+Recovery from Deep Learning Training Failures" (Gupta et al., EuroSys '24).
+
+Layering (bottom to top):
+
+``repro.sim``        deterministic discrete-event engine
+``repro.hardware``   GPUs, nodes, interconnect, cluster topology
+``repro.cuda``       simulated CUDA runtime (streams, events, memcpy)
+``repro.nccl``       simulated NCCL collectives with hang semantics
+``repro.framework``  numpy training framework (models, optimizers, data)
+``repro.parallel``   DDP / tensor / pipeline / 3D / FSDP engines
+``repro.storage``    checkpoint stores (disk, tmpfs, shared object store)
+``repro.cluster``    workers, scheduler, CRIU-style process snapshots
+``repro.failures``   failure taxonomy and injection
+``repro.core``       the paper's contribution: user-level and transparent
+                     just-in-time checkpointing, plus periodic baselines
+``repro.analysis``   the Section 5 analytical cost model
+``repro.workloads``  Table 2 workload catalogue
+"""
+
+__version__ = "1.0.0"

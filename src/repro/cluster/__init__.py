@@ -1,0 +1,20 @@
+"""Cluster control plane: rank workers, job management, CRIU snapshots.
+
+This is the substrate the paper's Section 3 step 3 relies on ("the
+scheduler is notified by the healthy ranks ... kills the job and
+reschedules it on a set of nodes which excludes any failing GPU(s)") and
+that Section 4.3 uses for CRIU-based transparent migration.
+"""
+
+from repro.cluster.criu import CriuManager
+from repro.cluster.worker import InitCosts, RankWorker, WorkerStatus
+from repro.cluster.manager import JobManager, RunReport
+
+__all__ = [
+    "CriuManager",
+    "InitCosts",
+    "JobManager",
+    "RankWorker",
+    "RunReport",
+    "WorkerStatus",
+]

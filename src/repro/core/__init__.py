@@ -1,0 +1,36 @@
+"""The paper's contribution: just-in-time checkpointing.
+
+* `repro.core.user_level` — Section 3: the user-level library (hang
+  watchdog on collective events, replica checkpoints on failure, scheduler
+  restart, checkpoint assembly).
+* `repro.core.transparent` — Section 4: the device-proxy design (API
+  replay log, virtual handles, transparent recovery for transient /
+  optimizer-step / hard errors, CRIU migration).
+* `repro.core.periodic` — the baselines of Section 6.3: PC_disk, PC_mem,
+  CheckFreq, PC_1/day.
+* `repro.analysis` (sibling package) — the Section 5 analytical model.
+"""
+
+from repro.core.adaptive import AdaptiveIntervalTuner
+from repro.core.config import JitConfig
+from repro.core.checkpoints import CheckpointRegistry
+from repro.core.gemini import GeminiPolicy, GeminiRunner
+from repro.core.swift import InvertibleSgd
+from repro.core.telemetry import RecoveryTelemetry
+from repro.core.user_level import UserLevelJitRunner
+from repro.core.periodic import PeriodicPolicy, PeriodicRunner
+from repro.core.transparent import TransparentJitSystem
+
+__all__ = [
+    "AdaptiveIntervalTuner",
+    "CheckpointRegistry",
+    "GeminiPolicy",
+    "GeminiRunner",
+    "InvertibleSgd",
+    "JitConfig",
+    "PeriodicPolicy",
+    "PeriodicRunner",
+    "RecoveryTelemetry",
+    "TransparentJitSystem",
+    "UserLevelJitRunner",
+]

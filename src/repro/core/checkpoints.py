@@ -1,0 +1,156 @@
+"""Checkpoint naming, atomic commit, and assembly.
+
+Implements the Section 3.2/3.3 scheme:
+
+* each rank writes its state under a rank-dependent path so simultaneous
+  writers never collide;
+* a small metadata object is written *after* the data object; a checkpoint
+  without metadata is torn and is discarded during assembly;
+* restore looks for a checkpoint from *any* data-parallel replica of the
+  same shard (``jit_get_checkpoint_path``), newest complete one first, and
+  also considers periodic checkpoints — "the most recent checkpoint will
+  be used, which can be either a periodic checkpoint or a JIT checkpoint"
+  (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.storage.stores import SharedObjectStore
+
+
+@dataclass(frozen=True)
+class CheckpointKey:
+    """Identity of one complete shard checkpoint."""
+
+    kind: str          # "jit" | "periodic"
+    epoch: int         # JIT: failure generation; periodic: iteration index
+    shard_id: str
+    rank: int
+    iteration: int     # iteration to resume at
+
+    @property
+    def data_path(self) -> str:
+        return (f"ckpt/{self.kind}/epoch{self.epoch}/{self.shard_id}/"
+                f"rank{self.rank}/data")
+
+    @property
+    def meta_path(self) -> str:
+        return (f"ckpt/{self.kind}/epoch{self.epoch}/{self.shard_id}/"
+                f"rank{self.rank}/meta")
+
+
+class CheckpointRegistry:
+    """All checkpoint reads/writes for one job against the shared store."""
+
+    def __init__(self, store: SharedObjectStore, job_id: str = "job0"):
+        self.store = store
+        self.job_id = job_id
+
+    def _prefix(self, path: str) -> str:
+        return f"{self.job_id}/{path}"
+
+    # -- writing ---------------------------------------------------------------------
+
+    def write(self, key: CheckpointKey, state: dict, nbytes: int) -> Generator:
+        """Write data then commit metadata (both timed; kill-safe)."""
+        yield from self.store.write(self._prefix(key.data_path), state, nbytes)
+        meta = {"iteration": key.iteration, "shard_id": key.shard_id,
+                "rank": key.rank, "kind": key.kind, "epoch": key.epoch}
+        yield from self.store.write(self._prefix(key.meta_path), meta,
+                                    nbytes=4096)
+
+    # -- discovery -------------------------------------------------------------------
+
+    def _complete_keys(self, kind: str, shard_id: str) -> list[CheckpointKey]:
+        prefix = self._prefix(f"ckpt/{kind}/")
+        keys = []
+        for meta_path in self.store.list(prefix):
+            if not meta_path.endswith("/meta"):
+                continue
+            meta = self.store.stat(meta_path).payload
+            if meta["shard_id"] != shard_id:
+                continue
+            key = CheckpointKey(kind=meta["kind"], epoch=meta["epoch"],
+                                shard_id=meta["shard_id"], rank=meta["rank"],
+                                iteration=meta["iteration"])
+            # Metadata implies the data object committed first, but verify:
+            # a crash between data-complete and meta-complete is benign,
+            # the reverse would be a torn checkpoint.
+            if self.store.exists(self._prefix(key.data_path)):
+                keys.append(key)
+        return keys
+
+    def jit_get_checkpoint_path(self, shard_id: str) -> Optional[CheckpointKey]:
+        """The library call of Section 3.3: best checkpoint for a shard.
+
+        Any data-parallel replica's checkpoint is acceptable; newest
+        iteration wins, JIT and periodic considered together.
+        """
+        candidates = (self._complete_keys("jit", shard_id)
+                      + self._complete_keys("periodic", shard_id))
+        if not candidates:
+            return None
+        return max(candidates, key=lambda k: (k.iteration, k.epoch, -k.rank))
+
+    def latest_consistent_iteration(self, shard_ids: list[str]) -> Optional[int]:
+        """Largest iteration for which *every* shard has a checkpoint."""
+        per_shard = []
+        for shard_id in set(shard_ids):
+            iterations = {k.iteration
+                          for k in (self._complete_keys("jit", shard_id)
+                                    + self._complete_keys("periodic", shard_id))}
+            if not iterations:
+                return None
+            per_shard.append(iterations)
+        common = set.intersection(*per_shard)
+        return max(common) if common else None
+
+    # -- reading -----------------------------------------------------------------------
+
+    def checkpoint_at(self, shard_id: str,
+                      iteration: int) -> Optional[CheckpointKey]:
+        """A complete checkpoint of *shard_id* at exactly *iteration*."""
+        candidates = [k for k in (self._complete_keys("jit", shard_id)
+                                  + self._complete_keys("periodic", shard_id))
+                      if k.iteration == iteration]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda k: (k.epoch, -k.rank))
+
+    def read(self, key: CheckpointKey) -> Generator:
+        """Timed read of a checkpoint's data payload."""
+        state = yield from self.store.read(self._prefix(key.data_path))
+        return state
+
+    def shard_has_checkpoint(self, shard_id: str) -> bool:
+        return self.jit_get_checkpoint_path(shard_id) is not None
+
+    # -- garbage collection --------------------------------------------------------------
+
+    def garbage_collect(self, shard_ids: list[str],
+                        keep_iterations: int = 2) -> int:
+        """Delete all but the newest *keep_iterations* checkpoint
+        iterations per shard; returns the number of checkpoints removed.
+
+        Never deletes an iteration another shard still depends on for a
+        consistent restore (the newest *mutually consistent* iteration is
+        always retained).
+        """
+        protected = self.latest_consistent_iteration(shard_ids)
+        removed = 0
+        for shard_id in set(shard_ids):
+            keys = (self._complete_keys("jit", shard_id)
+                    + self._complete_keys("periodic", shard_id))
+            iterations = sorted({k.iteration for k in keys}, reverse=True)
+            keep = set(iterations[:keep_iterations])
+            if protected is not None:
+                keep.add(protected)
+            for key in keys:
+                if key.iteration not in keep:
+                    self.store.delete(self._prefix(key.data_path))
+                    self.store.delete(self._prefix(key.meta_path))
+                    removed += 1
+        return removed

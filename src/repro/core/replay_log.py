@@ -1,0 +1,87 @@
+"""Device-API replay log (Section 4.1 of the paper).
+
+In steady state the device proxy logs every device API with its inputs;
+the log is cleared at the start of each minibatch.  During recovery the
+log is re-issued to bring the device back to the point where the error
+happened; during validation it is re-executed in place to prove the log
+captures every input the device computation depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+
+class Phase(enum.Enum):
+    FORWARD_BACKWARD = "forward_backward"
+    OPTIMIZER = "optimizer"
+    #: Between optimizer end and next minibatch begin.
+    POST_OPTIMIZER = "post_optimizer"
+
+
+@dataclass
+class ApiRecord:
+    """One logged device API call."""
+
+    method: str                     # e.g. "launch_kernel", "malloc"
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    phase: Phase = Phase.FORWARD_BACKWARD
+    minibatch: int = -1
+    #: malloc only: deep copy of the initial contents, so replay can
+    #: re-initialise the (reused) array exactly.
+    initial_contents: Optional[np.ndarray] = None
+    #: The virtual handle the original call returned (malloc/create_*).
+    produced: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ApiRecord {self.method} mb{self.minibatch} {self.phase.value}>"
+
+
+class ReplayLog:
+    """Per-minibatch API log plus the persistent creation log."""
+
+    def __init__(self) -> None:
+        #: Cleared at every minibatch start.
+        self.records: list[ApiRecord] = []
+        #: The previous minibatch's records, retained until the next
+        #: clear.  Needed when a failure freezes a rank whose device had
+        #: not yet executed the previous iteration's (already enqueued)
+        #: optimizer step: recovery re-executes those optimizer records
+        #: from the retained averaged gradients to reach the version the
+        #: CPU already advanced to.
+        self.previous_records: list[ApiRecord] = []
+        #: GPU objects (streams/events/communicator inits) created outside
+        #: any minibatch — usually during job setup; replayed after reset
+        #: to recreate handles ("recorded ... usually at the start of
+        #: training", Section 4.2).
+        self.creation_records: list[ApiRecord] = []
+        self.current_minibatch: int = -1
+        self.total_logged = 0
+
+    def begin_minibatch(self, iteration: int) -> None:
+        self.previous_records = list(self.records)
+        self.records.clear()
+        self.current_minibatch = iteration
+
+    @property
+    def in_minibatch(self) -> bool:
+        return self.current_minibatch >= 0
+
+    def append(self, record: ApiRecord) -> None:
+        record.minibatch = self.current_minibatch
+        self.total_logged += 1
+        if self.in_minibatch:
+            self.records.append(record)
+        else:
+            self.creation_records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def records_of(self, *methods: str) -> list[ApiRecord]:
+        return [r for r in self.records if r.method in methods]

@@ -1,0 +1,104 @@
+"""Swift-style invertible-optimizer rollback [Zhong et al., PPoPP'23].
+
+The paper's related work: "Swift avoids steady state overhead ... by
+recovering consistent model state in surviving workers using invertible
+operators to undo model update operations in case of partial model
+updates ... however, Swift requires optimizers to use only invertible
+operators, and may not work for all models."
+
+This module makes that trade-off concrete: an SGD variant whose update is
+algebraically invertible given the gradients of the last step (which stay
+resident until the next iteration), so a rank that advanced one parameter
+version past its peers can roll *back* instead of pulling state from a
+replica.  The restriction is enforced the way Swift's is: optimizers
+without a registered inverse are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.framework.optim import ParamDict, Sgd
+
+
+class InvertibleSgd(Sgd):
+    """SGD (with momentum) whose last step can be undone exactly.
+
+    Forward step (momentum mu, gradient g, lr):
+        v <- mu * v + g;   p <- p - lr * v
+    Inverse, given the same g and lr:
+        p <- p + lr * v;   v <- (v - g) / mu       (v untouched if mu == 0)
+    """
+
+    def __init__(self, params: ParamDict, lr: float = 1e-3,
+                 momentum: float = 0.0):
+        super().__init__(params, lr, momentum)
+        self._last_grads: Optional[ParamDict] = None
+        self._last_lr: Optional[float] = None
+
+    def step(self, grads: ParamDict, lr: Optional[float] = None) -> None:
+        # Keep references to the gradients consumed; in the simulated
+        # device they stay resident until the next iteration's buffers
+        # replace them, exactly the window Swift's undo needs.
+        self._last_grads = {name: grad.copy() for name, grad in grads.items()}
+        self._last_lr = self.lr if lr is None else lr
+        super().step(grads, lr)
+
+    @property
+    def can_undo(self) -> bool:
+        return self._last_grads is not None
+
+    def undo_last_step(self) -> None:
+        """Exactly invert the most recent :meth:`step`."""
+        if not self.can_undo:
+            raise RuntimeError("no step to undo (or already undone)")
+        lr, grads = self._last_lr, self._last_grads
+        for name, param in self.params.items():
+            if self.momentum:
+                vel = self.velocity[name]
+                param += lr * vel
+                vel -= grads[name]
+                vel /= self.momentum
+            else:
+                param += lr * grads[name]
+        self.step_count -= 1
+        self._last_grads = None
+        self._last_lr = None
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["last_lr"] = self._last_lr
+        state["last_grads"] = (
+            None if self._last_grads is None
+            else {k: v.copy() for k, v in self._last_grads.items()})
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._last_lr = state.get("last_lr")
+        grads = state.get("last_grads")
+        self._last_grads = (None if grads is None
+                            else {k: v.copy() for k, v in grads.items()})
+
+
+def supports_undo(optimizer) -> bool:
+    """Swift's applicability check: does this optimizer expose an inverse?"""
+    return hasattr(optimizer, "undo_last_step")
+
+
+def rollback_one_version(optimizer) -> None:
+    """Roll an engine's parameters back one optimizer step, Swift-style.
+
+    Raises ``NotImplementedError`` for optimizers without an inverse —
+    Adam's exponential moving averages are only invertible given retained
+    gradients *and* bias-correction bookkeeping that mainstream
+    implementations discard, which is exactly why the paper notes Swift
+    "may not work for all models".
+    """
+    if not supports_undo(optimizer):
+        raise NotImplementedError(
+            f"{type(optimizer).__name__} has no registered inverse; "
+            f"Swift-style rollback requires invertible optimizers")
+    optimizer.undo_last_step()

@@ -1,0 +1,90 @@
+"""Recovery telemetry: the measurements behind Tables 4-7.
+
+Every recovery (user-level or transparent) appends a
+:class:`RecoveryRecord`; per-phase timings use ``begin``/``end`` marks so
+benchmarks can reproduce the paper's step breakdown (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim import Environment
+
+
+@dataclass
+class PhaseSpan:
+    name: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"phase {self.name!r} still open")
+        return self.end - self.start
+
+
+@dataclass
+class RecoveryRecord:
+    """One failure-to-recovery episode."""
+
+    kind: str                       # "user_level" | "transient" | "hard" | ...
+    rank: Optional[int] = None
+    detected_at: float = 0.0
+    finished_at: Optional[float] = None
+    phases: list[PhaseSpan] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def recovery_time(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("recovery still in progress")
+        return self.finished_at - self.detected_at
+
+    def phase_duration(self, name: str) -> float:
+        return sum(span.duration for span in self.phases if span.name == name)
+
+    def breakdown(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for span in self.phases:
+            out[span.name] = out.get(span.name, 0.0) + span.duration
+        return out
+
+
+class RecoveryTelemetry:
+    """Collects recovery records for one system instance."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.records: list[RecoveryRecord] = []
+        self._open: dict[int, list[PhaseSpan]] = {}
+
+    def start(self, kind: str, rank: Optional[int] = None) -> RecoveryRecord:
+        record = RecoveryRecord(kind=kind, rank=rank, detected_at=self.env.now)
+        self.records.append(record)
+        return record
+
+    def begin(self, record: RecoveryRecord, phase: str) -> PhaseSpan:
+        span = PhaseSpan(phase, self.env.now)
+        record.phases.append(span)
+        return span
+
+    def end(self, span: PhaseSpan) -> None:
+        span.end = self.env.now
+
+    def finish(self, record: RecoveryRecord) -> None:
+        record.finished_at = self.env.now
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def by_kind(self, kind: str) -> list[RecoveryRecord]:
+        return [r for r in self.records if r.kind == kind
+                and r.finished_at is not None]
+
+    def mean_recovery_time(self, kind: str) -> float:
+        records = self.by_kind(kind)
+        if not records:
+            raise ValueError(f"no finished recoveries of kind {kind!r}")
+        return sum(r.recovery_time for r in records) / len(records)

@@ -1,0 +1,34 @@
+"""Simulated CUDA runtime.
+
+Reproduces the semantics the paper's mechanisms depend on:
+
+* kernels are enqueued asynchronously onto per-stream FIFOs and execute in
+  device time, so the CPU "runs ahead" of the GPU (Section 3.1);
+* ``cudaStreamWaitEvent`` / ``cudaEventRecord`` provide cross-stream
+  ordering — the compute stream blocks on events recorded after collectives
+  on the communication stream (Figure 3);
+* a failed rank makes collectives (and everything ordered after them) hang,
+  never erroring, which is what the watchdog detects;
+* sticky errors poison every subsequent API call on the context until the
+  device proxy restarts (Section 4.2).
+"""
+
+from repro.cuda.errors import CudaApiError, CudaError
+from repro.cuda.memory import BufferKind, DeviceBuffer, HostBuffer
+from repro.cuda.event import CudaEvent, EventState
+from repro.cuda.stream import CudaStream, KernelOp, StreamOp
+from repro.cuda.runtime import CudaContext
+
+__all__ = [
+    "BufferKind",
+    "CudaApiError",
+    "CudaContext",
+    "CudaError",
+    "CudaEvent",
+    "CudaStream",
+    "DeviceBuffer",
+    "EventState",
+    "HostBuffer",
+    "KernelOp",
+    "StreamOp",
+]

@@ -1,0 +1,79 @@
+"""``cudaEvent`` model.
+
+Events are the paper's hang-detection anchor: the user-level library
+watches events recorded after collectives on the communication stream, and
+a hang is declared when ``cudaEventQuery`` keeps returning ``NOT_READY``
+past a timeout (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.cuda.errors import CudaError
+from repro.sim import Environment, Event
+
+_event_ids = itertools.count()
+
+
+class EventState(enum.Enum):
+    CREATED = "created"
+    RECORDED = "recorded"   # enqueued on a stream, not yet reached
+    TRIGGERED = "triggered"
+
+
+class CudaEvent:
+    """One CUDA event; re-recordable like the real API."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.event_id = next(_event_ids)
+        self.name = name or f"cudaEvent{self.event_id}"
+        self.state = EventState.CREATED
+        self.destroyed = False
+        #: Sim event that fires when the recorded occurrence triggers.
+        #: Recreated on every record so the event can be reused.
+        self._completion: Optional[Event] = None
+        self.trigger_time: Optional[float] = None
+        #: Stream the current recording sits on (for watchdog bookkeeping).
+        self.recorded_on = None
+
+    def mark_recorded(self, stream) -> Event:
+        """Called by ``cudaEventRecord``: arm the event on *stream*."""
+        self.state = EventState.RECORDED
+        self.recorded_on = stream
+        self.trigger_time = None
+        self._completion = self.env.event(name=f"trigger:{self.name}")
+        return self._completion
+
+    def trigger(self) -> None:
+        """Called by the stream executor when the record point is reached."""
+        self.state = EventState.TRIGGERED
+        self.trigger_time = self.env.now
+        if self._completion is not None and not self._completion.triggered:
+            self._completion.succeed(self)
+
+    def query(self) -> CudaError:
+        """``cudaEventQuery``: non-blocking readiness check."""
+        if self.state is EventState.TRIGGERED:
+            return CudaError.SUCCESS
+        if self.state is EventState.CREATED:
+            # CUDA returns success for a never-recorded event.
+            return CudaError.SUCCESS
+        return CudaError.NOT_READY
+
+    @property
+    def completion(self) -> Event:
+        """Sim event for waiting on this cuda event; fires on trigger."""
+        if self._completion is None:
+            # Never recorded: waiting on it completes immediately (CUDA
+            # semantics for a fresh event).
+            done = self.env.event(name=f"trigger:{self.name}")
+            done.succeed(self)
+            return done
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CudaEvent {self.name} {self.state.value}>"

@@ -1,0 +1,223 @@
+"""The CUDA API surface used by the training framework and interception layer.
+
+One :class:`CudaContext` exists per (worker process, GPU) pair.  All calls
+are *immediate* from the CPU's point of view (they enqueue work and
+return); only the ``*_synchronize`` helpers are generators that block the
+calling worker process in simulation time.
+
+Error model: each API call first checks context health (``_guard``).  A
+sticky or dead context raises :class:`CudaApiError` from every call, like
+real CUDA.  Recovery code uses the ``rescue_*`` entry points, which bypass
+the guard as long as device memory is physically accessible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cuda.errors import CudaApiError, CudaError
+from repro.cuda.event import CudaEvent
+from repro.cuda.memory import BufferKind, DeviceBuffer, HostBuffer
+from repro.cuda.stream import (
+    CudaStream,
+    KernelOp,
+    MemcpyOp,
+    RecordEventOp,
+    WaitEventOp,
+)
+from repro.hardware.gpu import Gpu, GpuHealth
+from repro.hardware.node import Node
+from repro.sim import Environment, Event, Tracer
+
+_context_ids = itertools.count()
+
+
+class CudaContext:
+    """Simulated CUDA context bound to one GPU on one node."""
+
+    def __init__(self, env: Environment, gpu: Gpu, node: Node,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.gpu = gpu
+        self.node = node
+        self.context_id = next(_context_ids)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.streams: list[CudaStream] = []
+        self.events: list[CudaEvent] = []
+        self.buffers: dict[int, DeviceBuffer] = {}
+        self._sticky_error: Optional[CudaError] = None
+        #: The implicit stream every unqualified call lands on.
+        self.default_stream = self.create_stream(name_hint="default")
+
+    # -- health guard -------------------------------------------------------------
+
+    def _guard(self) -> None:
+        if self._sticky_error is not None:
+            raise CudaApiError(self._sticky_error, "context poisoned")
+        if self.gpu.health is GpuHealth.DEAD:
+            self._sticky_error = CudaError.DEVICE_LOST
+            raise CudaApiError(CudaError.DEVICE_LOST, self.gpu.gpu_id)
+        if self.gpu.health is GpuHealth.STICKY_ERROR:
+            self._sticky_error = CudaError.STICKY
+            raise CudaApiError(CudaError.STICKY, self.gpu.gpu_id)
+
+    @property
+    def poisoned(self) -> bool:
+        return self._sticky_error is not None
+
+    # -- streams & events ------------------------------------------------------------
+
+    def create_stream(self, name_hint: str = "") -> CudaStream:
+        name = f"ctx{self.context_id}:{name_hint or 'stream'}{len(self.streams)}"
+        stream = CudaStream(self.env, self.gpu, name=name, tracer=self.tracer)
+        self.streams.append(stream)
+        return stream
+
+    def create_event(self, name_hint: str = "") -> CudaEvent:
+        event = CudaEvent(self.env,
+                          name=f"ctx{self.context_id}:{name_hint or 'ev'}{len(self.events)}")
+        self.events.append(event)
+        return event
+
+    def event_record(self, event: CudaEvent, stream: Optional[CudaStream] = None) -> None:
+        """``cudaEventRecord``."""
+        self._guard()
+        stream = stream or self.default_stream
+        completion = event.mark_recorded(stream)
+        stream.enqueue(RecordEventOp(event, completion))
+
+    def stream_wait_event(self, stream: CudaStream, event: CudaEvent) -> None:
+        """``cudaStreamWaitEvent``."""
+        self._guard()
+        stream.enqueue(WaitEventOp(event))
+
+    def event_query(self, event: CudaEvent) -> CudaError:
+        """``cudaEventQuery`` — never raises; used by the watchdog.
+
+        Like real CUDA, the query itself surfaces a sticky device error,
+        which is how polling watchdogs learn of failures without any
+        training-path API being called.
+        """
+        if self._sticky_error is None:
+            if self.gpu.health is GpuHealth.DEAD:
+                self._sticky_error = CudaError.DEVICE_LOST
+            elif self.gpu.health is GpuHealth.STICKY_ERROR:
+                self._sticky_error = CudaError.STICKY
+        if self._sticky_error is not None:
+            return self._sticky_error
+        return event.query()
+
+    def event_synchronize(self, event: CudaEvent) -> Generator:
+        self._guard()
+        completion = event.completion
+        if not completion.triggered:
+            yield completion
+
+    def stream_synchronize(self, stream: Optional[CudaStream] = None) -> Generator:
+        self._guard()
+        stream = stream or self.default_stream
+        yield stream.sync_marker()
+
+    def device_synchronize(self) -> Generator:
+        self._guard()
+        markers = [s.sync_marker() for s in self.streams
+                   if not s.destroyed and not s.aborted]
+        if markers:
+            yield self.env.all_of(markers)
+
+    # -- memory ----------------------------------------------------------------------
+
+    def malloc(self, array: np.ndarray, kind: BufferKind,
+               logical_nbytes: Optional[int] = None, label: str = "") -> DeviceBuffer:
+        """``cudaMalloc`` + eager content initialisation."""
+        self._guard()
+        buf = DeviceBuffer(self.gpu, array, kind,
+                           logical_nbytes=logical_nbytes, label=label)
+        self.gpu.allocate(buf.logical_nbytes)
+        self.buffers[buf.buffer_id] = buf
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        if buf.freed:
+            return
+        buf.freed = True
+        self.gpu.free(buf.logical_nbytes)
+        self.buffers.pop(buf.buffer_id, None)
+
+    def launch_kernel(self, stream: CudaStream, name: str, duration: float,
+                      thunk=None) -> KernelOp:
+        """Asynchronous kernel launch."""
+        self._guard()
+        op = KernelOp(name, duration, thunk)
+        stream.enqueue(op)
+        return op
+
+    def memcpy_d2h_async(self, host: HostBuffer, device: DeviceBuffer,
+                         stream: Optional[CudaStream] = None) -> MemcpyOp:
+        self._guard()
+        return self._enqueue_copy(host, device, direction="d2h",
+                                  stream=stream or self.default_stream)
+
+    def memcpy_h2d_async(self, device: DeviceBuffer, host: HostBuffer,
+                         stream: Optional[CudaStream] = None) -> MemcpyOp:
+        self._guard()
+        return self._enqueue_copy(host, device, direction="h2d",
+                                  stream=stream or self.default_stream)
+
+    def _enqueue_copy(self, host: HostBuffer, device: DeviceBuffer,
+                      direction: str, stream: CudaStream) -> MemcpyOp:
+        if direction == "d2h":
+            def thunk(host=host, device=device):
+                host.array[...] = device.array
+        else:
+            def thunk(host=host, device=device):
+                device.array[...] = host.array
+        op = MemcpyOp(f"memcpy_{direction}:{device.label or device.buffer_id}",
+                      nbytes=device.logical_nbytes,
+                      bandwidth=self.gpu.spec.pcie_bandwidth,
+                      pcie=self.node.pcie_for(self.gpu),
+                      thunk=thunk)
+        stream.enqueue(op)
+        return op
+
+    # -- rescue path (recovery code only) ---------------------------------------------
+
+    def rescue_copy_d2h(self, device: DeviceBuffer) -> tuple[np.ndarray, float]:
+        """Synchronous out-of-band device read for JIT checkpointing.
+
+        Bypasses the health guard: works whenever device memory is still
+        physically accessible (healthy or driver-corrupt GPU).  Returns the
+        array copy plus the simulated copy duration; the *caller* (a
+        recovery process) is responsible for yielding that much time, on a
+        fresh stream, exactly like the paper's side-stream ``cudaMemcpy``
+        fix in Section 3.2.
+        """
+        if not self.gpu.is_accessible:
+            raise CudaApiError(CudaError.DEVICE_LOST,
+                               f"{self.gpu.gpu_id} memory inaccessible")
+        return device.array.copy(), self.gpu.pcie_time(device.logical_nbytes)
+
+    # -- teardown / reset ---------------------------------------------------------------
+
+    def abort_all_streams(self, error: CudaError = CudaError.STICKY) -> None:
+        for stream in self.streams:
+            if not stream.destroyed:
+                stream.abort(error)
+
+    def destroy(self) -> None:
+        """Tear the context down (device proxy restart)."""
+        self.abort_all_streams(CudaError.INVALID_HANDLE)
+        for buf in list(self.buffers.values()):
+            self.free(buf)
+        self.streams.clear()
+        self.events.clear()
+        self._sticky_error = CudaError.INVALID_HANDLE
+
+    def live_buffers(self, kind: Optional[BufferKind] = None) -> list[DeviceBuffer]:
+        bufs = [b for b in self.buffers.values() if not b.freed]
+        if kind is not None:
+            bufs = [b for b in bufs if b.kind is kind]
+        return sorted(bufs, key=lambda b: b.buffer_id)

@@ -1,0 +1,261 @@
+"""CUDA streams: FIFO queues of device operations with an executor process.
+
+Execution semantics reproduced from real CUDA:
+
+* operations on one stream run strictly in enqueue order;
+* different streams run concurrently (each has its own executor process);
+* ``WaitEventOp`` blocks the stream until the event triggers — if the event
+  was recorded after a collective that hangs, the whole stream hangs, which
+  is exactly the deadlock Section 3.2 of the paper works around;
+* a kernel on a failed GPU never completes (hang) rather than erroring, so
+  failures must be detected by watchdog timeout, as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.cuda.errors import CudaApiError, CudaError
+from repro.cuda.event import CudaEvent
+from repro.hardware.gpu import Gpu
+from repro.sim import Environment, Event, Process, Resource, Tracer
+
+_stream_ids = itertools.count()
+_op_ids = itertools.count()
+
+
+def _fail_defused(event: Event, exc: BaseException) -> None:
+    """Fail *event* without crashing the run if nobody is waiting on it."""
+    if not event.triggered:
+        event.fail(exc)
+        event.defuse()
+
+
+class StreamOp:
+    """Base class for everything that can sit in a stream FIFO."""
+
+    def __init__(self, name: str):
+        self.op_id = next(_op_ids)
+        self.name = name
+        self.done: Optional[Event] = None  # bound when enqueued
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def bind(self, env: Environment) -> None:
+        self.done = env.event(name=f"done:{self.name}#{self.op_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}#{self.op_id}>"
+
+
+class KernelOp(StreamOp):
+    """A compute kernel: fixed duration plus an optional numpy side effect."""
+
+    def __init__(self, name: str, duration: float,
+                 thunk: Optional[Callable[[], None]] = None):
+        super().__init__(name)
+        if duration < 0:
+            raise ValueError("kernel duration must be non-negative")
+        self.duration = duration
+        self.thunk = thunk
+
+
+class MemcpyOp(StreamOp):
+    """Host<->device or device->device copy, timed over the PCIe resource."""
+
+    def __init__(self, name: str, nbytes: int, bandwidth: float,
+                 pcie: Optional[Resource],
+                 thunk: Optional[Callable[[], None]] = None):
+        super().__init__(name)
+        self.nbytes = int(nbytes)
+        self.bandwidth = float(bandwidth)
+        self.pcie = pcie
+        self.thunk = thunk
+
+    @property
+    def duration(self) -> float:
+        return self.nbytes / self.bandwidth
+
+
+class WaitEventOp(StreamOp):
+    """``cudaStreamWaitEvent``: stall the stream until the event triggers."""
+
+    def __init__(self, event: CudaEvent):
+        super().__init__(f"wait:{event.name}")
+        self.event = event
+
+
+class RecordEventOp(StreamOp):
+    """``cudaEventRecord``: trigger the event when the stream reaches it."""
+
+    def __init__(self, event: CudaEvent, completion: Event):
+        super().__init__(f"record:{event.name}")
+        self.event = event
+        self.completion = completion
+
+
+class CollectiveKernelOp(StreamOp):
+    """An NCCL collective kernel; blocks until all ranks arrive.
+
+    The cross-rank synchronisation lives in the rendezvous object supplied
+    by `repro.nccl`; this op just arrives and waits.
+    """
+
+    def __init__(self, name: str, rendezvous, rank: int,
+                 thunk: Optional[Callable[[], None]] = None):
+        super().__init__(name)
+        self.rendezvous = rendezvous
+        self.rank = rank
+        self.thunk = thunk
+
+
+class CudaStream:
+    """One stream: a FIFO of :class:`StreamOp` driven by an executor."""
+
+    def __init__(self, env: Environment, gpu: Gpu, name: str = "",
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.gpu = gpu
+        self.stream_id = next(_stream_ids)
+        self.name = name or f"stream{self.stream_id}"
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._queue: deque[StreamOp] = deque()
+        self._wakeup: Optional[Event] = None
+        self._creation_epoch = gpu.epoch
+        self.error: Optional[CudaError] = None
+        self.aborted = False
+        self.destroyed = False
+        self._executor: Process = env.process(self._run(), name=f"exec:{self.name}")
+        #: Completed op names in order (used by tests and figure traces).
+        self.completed_ops: list[str] = []
+        #: True once a collective kernel has been enqueued here; the
+        #: interception layer uses this to identify the NCCL stream, like
+        #: the paper identifies it from intercepted NCCL APIs.
+        self.saw_collective = False
+
+    # -- queue management ------------------------------------------------------
+
+    def enqueue(self, op: StreamOp) -> StreamOp:
+        if self.destroyed:
+            raise CudaApiError(CudaError.INVALID_HANDLE, f"{self.name} destroyed")
+        op.bind(self.env)
+        if isinstance(op, CollectiveKernelOp):
+            self.saw_collective = True
+        self._queue.append(op)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return op
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and (self._wakeup is not None)
+
+    def sync_marker(self) -> Event:
+        """Enqueue a no-op and return its completion (stream-synchronize)."""
+        op = KernelOp("sync_marker", duration=0.0)
+        self.enqueue(op)
+        return op.done
+
+    def abort(self, error: CudaError = CudaError.STICKY) -> None:
+        """Tear the stream down during recovery: fail all pending ops."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.error = self.error or error
+        self._executor.kill()
+        exc = CudaApiError(error, f"{self.name} aborted for recovery")
+        while self._queue:
+            op = self._queue.popleft()
+            _fail_defused(op.done, exc)
+            if isinstance(op, RecordEventOp):
+                _fail_defused(op.completion, exc)
+        self.tracer.record(self.env.now, self.name, "stream_abort", error=error.value)
+
+    def destroy(self) -> None:
+        self.abort(CudaError.INVALID_HANDLE)
+        self.destroyed = True
+
+    # -- executor ----------------------------------------------------------------
+
+    def _park(self):
+        """Block forever: the stream has hung (failed GPU / poisoned op)."""
+        self.tracer.record(self.env.now, self.name, "stream_hang")
+        yield self.env.event(name=f"park:{self.name}")
+
+    def _gpu_ok(self) -> bool:
+        return self.gpu.is_usable and self.gpu.epoch == self._creation_epoch
+
+    def _run(self):
+        env = self.env
+        while True:
+            if not self._queue:
+                self._wakeup = env.event(name=f"wakeup:{self.name}")
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            op = self._queue[0]
+            op.started_at = env.now
+
+            if isinstance(op, WaitEventOp):
+                completion = op.event.completion
+                if not completion.triggered:
+                    yield completion
+            elif isinstance(op, RecordEventOp):
+                op.event.trigger()
+                if not op.completion.triggered:
+                    op.completion.succeed(op.event)
+            elif isinstance(op, CollectiveKernelOp):
+                if not self._gpu_ok():
+                    yield from self._park()
+                arrival = op.rendezvous.arrive(op.rank)
+                try:
+                    yield arrival
+                except CudaApiError as exc:
+                    # Collective aborted during recovery: poison the stream
+                    # and fail everything queued behind it so blocked CPU
+                    # threads wake with an error the interception layer can
+                    # catch.
+                    self.error = self.error or exc.code
+                    _fail_defused(op.done, exc)
+                    self._queue.popleft()
+                    self.abort(exc.code)
+                    return
+                if not self._gpu_ok():
+                    yield from self._park()
+                if op.thunk is not None:
+                    op.thunk()
+            else:  # KernelOp / MemcpyOp
+                if not self._gpu_ok():
+                    yield from self._park()
+                pcie = getattr(op, "pcie", None)
+                if pcie is not None:
+                    yield pcie.acquire()
+                try:
+                    if op.duration > 0:
+                        yield env.timeout(op.duration)
+                finally:
+                    if pcie is not None:
+                        pcie.release()
+                if not self._gpu_ok():
+                    # GPU failed while the kernel was in flight: it never
+                    # completes, matching real CUDA hang behaviour.
+                    yield from self._park()
+                if op.thunk is not None:
+                    op.thunk()
+
+            op.finished_at = env.now
+            self.completed_ops.append(op.name)
+            self._queue.popleft()
+            if not op.done.triggered:
+                op.done.succeed(op)
+            self.tracer.record(env.now, self.name, "op_done", op=op.name,
+                               started=op.started_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CudaStream {self.name} on {self.gpu.gpu_id} pending={self.pending}>"

@@ -1,0 +1,21 @@
+"""Failure taxonomy and injection.
+
+Models the error classes the paper's Section 1 catalogues from production
+clusters: single-GPU hardware errors, CUDA sticky errors, driver-state
+corruption, transient network faults, and (rare) whole-node crashes.
+Failures can be injected at exact simulation times for targeted tests or
+drawn from a Poisson process parameterised by the per-GPU failure rate f
+(Section 5) for long-horizon campaigns.
+"""
+
+from repro.failures.types import FailureEvent, FailureType
+from repro.failures.injector import FailureInjector
+from repro.failures.schedule import DeterministicSchedule, PoissonSchedule
+
+__all__ = [
+    "DeterministicSchedule",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureType",
+    "PoissonSchedule",
+]

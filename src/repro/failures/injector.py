@@ -1,0 +1,102 @@
+"""Applies scheduled failures to cluster hardware at simulation time."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.failures.types import FailureEvent, FailureType
+from repro.hardware.cluster import Cluster
+from repro.hardware.gpu import GpuHealth
+from repro.hardware.network import LinkHealth
+from repro.sim import Environment, Tracer
+
+
+class FailureInjector:
+    """Drives a schedule of :class:`FailureEvent`s against a cluster."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.cluster = cluster
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.injected: list[FailureEvent] = []
+        #: Events whose target left the cluster before they fired (e.g.
+        #: the node was swapped out for a spare after an earlier failure).
+        self.skipped: list[FailureEvent] = []
+
+    def arm(self, events: Iterable[FailureEvent]) -> None:
+        """Schedule every event (each runs as its own tiny process)."""
+        for event in sorted(events, key=lambda e: e.time):
+            self.env.process(self._fire(event), name=f"inject:{event.target}")
+
+    def arm_at_iteration(self, event: FailureEvent, engines,
+                         iteration: int, offset: float = 0.0,
+                         poll: float = 0.05) -> None:
+        """Fire *event* once every engine reaches *iteration*.
+
+        Benchmarks use this to land failures at a precise point in
+        training regardless of setup/restore durations.  ``offset`` adds a
+        delay after the iteration is reached (to hit a specific phase
+        within the minibatch).
+        """
+        def waiter():
+            while min(e.iteration for e in engines) < iteration:
+                yield self.env.timeout(poll)
+            if offset:
+                yield self.env.timeout(offset)
+            self.apply(FailureEvent(self.env.now, event.failure_type,
+                                    event.target, event.duration))
+            if (event.failure_type is FailureType.NETWORK_TRANSIENT
+                    and event.duration):
+                yield self.env.timeout(event.duration)
+                self.cluster.fabric.uplink(event.target).repair()
+
+        self.env.process(waiter(), name=f"inject-at-iter:{event.target}")
+
+    def _fire(self, event: FailureEvent):
+        if event.time > self.env.now:
+            yield self.env.timeout(event.time - self.env.now)
+        self.apply(event)
+        if (event.failure_type is FailureType.NETWORK_TRANSIENT
+                and event.duration):
+            yield self.env.timeout(event.duration)
+            self.cluster.fabric.uplink(event.target).repair()
+            self.tracer.record(self.env.now, "injector", "link_recovered",
+                               target=event.target)
+
+    def apply(self, event: FailureEvent) -> None:
+        """Apply a failure immediately (used directly by targeted tests).
+
+        Campaign schedules are drawn against the launch topology; if the
+        targeted device was since retired (node swapped for a spare), the
+        event hits hardware outside the job and is skipped.
+        """
+        try:
+            self._apply(event)
+        except KeyError:
+            self.skipped.append(event)
+            self.tracer.record(self.env.now, "injector", "skipped_failure",
+                               target=event.target)
+
+    def _apply(self, event: FailureEvent) -> None:
+        kind = event.failure_type
+        if kind is FailureType.GPU_HARD:
+            self.cluster.gpu_by_id(event.target).fail(GpuHealth.DEAD)
+        elif kind is FailureType.GPU_STICKY:
+            self.cluster.gpu_by_id(event.target).fail(GpuHealth.STICKY_ERROR)
+        elif kind is FailureType.GPU_DRIVER_CORRUPT:
+            self.cluster.gpu_by_id(event.target).fail(GpuHealth.DRIVER_CORRUPT)
+        elif kind is FailureType.NETWORK_TRANSIENT:
+            self.cluster.fabric.uplink(event.target).fail(LinkHealth.DEGRADED)
+        elif kind is FailureType.NODE_CRASH:
+            for node in self.cluster.nodes:
+                if node.name == event.target:
+                    node.kill()
+                    break
+            else:
+                raise KeyError(f"no active node named {event.target!r}")
+        else:  # pragma: no cover
+            raise ValueError(f"unhandled failure type {kind}")
+        self.injected.append(event)
+        self.tracer.record(self.env.now, "injector", "failure",
+                           kind=kind.value, target=event.target)

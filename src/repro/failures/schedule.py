@@ -1,0 +1,81 @@
+"""Failure schedules: fixed lists and Poisson-process campaigns.
+
+The Poisson schedule implements the paper's failure model: each GPU fails
+independently at rate ``f`` (Section 5: "the error frequency scales as
+O(N) for N GPUs"), so the job-level failure process is Poisson with rate
+``N * f``.  The failure-type mix defaults to the paper's observation that
+most errors are single-GPU or network errors and multi-node catastrophes
+are extremely rare (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.failures.types import FailureEvent, FailureType
+from repro.hardware.cluster import Cluster
+
+#: Default mix of failure classes, loosely following the paper's failure
+#: characterisation (single GPU / network dominate; node crashes rare).
+DEFAULT_TYPE_MIX: tuple[tuple[FailureType, float], ...] = (
+    (FailureType.GPU_HARD, 0.30),
+    (FailureType.GPU_STICKY, 0.25),
+    (FailureType.GPU_DRIVER_CORRUPT, 0.15),
+    (FailureType.NETWORK_TRANSIENT, 0.29),
+    (FailureType.NODE_CRASH, 0.01),
+)
+
+
+@dataclass(frozen=True)
+class DeterministicSchedule:
+    """A fixed list of failures (targeted experiments)."""
+
+    events: Sequence[FailureEvent]
+
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self.events)
+
+
+@dataclass
+class PoissonSchedule:
+    """Random failures at per-GPU rate ``f`` over a horizon."""
+
+    cluster: Cluster
+    failure_rate_per_gpu: float       # failures per GPU per second
+    horizon: float                    # seconds of simulated time to cover
+    seed: int = 0
+    type_mix: Sequence[tuple[FailureType, float]] = field(
+        default_factory=lambda: DEFAULT_TYPE_MIX)
+    transient_duration: float = 30.0
+
+    def events(self) -> list[FailureEvent]:
+        rng = np.random.Generator(np.random.Philox(key=self.seed))
+        gpus = self.cluster.gpus
+        job_rate = self.failure_rate_per_gpu * len(gpus)
+        kinds = [k for k, _w in self.type_mix]
+        weights = np.array([w for _k, w in self.type_mix], dtype=float)
+        weights /= weights.sum()
+        events = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / job_rate)
+            if t >= self.horizon:
+                break
+            kind = kinds[int(rng.choice(len(kinds), p=weights))]
+            gpu = gpus[int(rng.integers(len(gpus)))]
+            if kind is FailureType.NETWORK_TRANSIENT:
+                target = self.cluster.node_of(gpu).name
+                events.append(FailureEvent(t, kind, target,
+                                           duration=self.transient_duration))
+            elif kind is FailureType.NODE_CRASH:
+                events.append(FailureEvent(t, kind,
+                                           self.cluster.node_of(gpu).name))
+            else:
+                events.append(FailureEvent(t, kind, gpu.gpu_id))
+        return events
+
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self.events())

@@ -1,0 +1,57 @@
+"""Failure classes and events."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FailureType(enum.Enum):
+    """The error classes of the paper (Sections 1, 4 and Table 1)."""
+
+    #: Unrecoverable GPU hardware fault (ECC, device lost).  Requires
+    #: migration to a replacement GPU (Section 4.3).
+    GPU_HARD = "gpu_hard"
+    #: CUDA sticky error: device memory inaccessible, all API calls fail,
+    #: but the hardware is fine.  Cleared by a device-proxy restart; state
+    #: is recovered from a data-parallel replica (Section 4.2, third path).
+    GPU_STICKY = "gpu_sticky"
+    #: Driver-state corruption: the GPU still answers, memory is readable,
+    #: but the driver must be reset.  State is staged to the host across
+    #: the proxy restart (Section 4.2, second path).
+    GPU_DRIVER_CORRUPT = "gpu_driver_corrupt"
+    #: Transient network fault (IB flap/congestion): collectives stall; no
+    #: GPU state is lost (Section 4.2, first path).
+    NETWORK_TRANSIENT = "network_transient"
+    #: Whole-host crash: every GPU on the node is lost.  "Extremely rare"
+    #: per the paper; needs migration (and, without surviving replicas,
+    #: a periodic checkpoint).
+    NODE_CRASH = "node_crash"
+
+    @property
+    def is_hard(self) -> bool:
+        return self in (FailureType.GPU_HARD, FailureType.NODE_CRASH)
+
+    @property
+    def gpu_state_accessible(self) -> bool:
+        """Can the failed component's GPU memory still be read?"""
+        return self in (FailureType.GPU_DRIVER_CORRUPT,
+                        FailureType.NETWORK_TRANSIENT)
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure."""
+
+    time: float
+    failure_type: FailureType
+    #: GPU id ("node0/gpu3") for GPU failures, node name for NODE_CRASH /
+    #: NETWORK_TRANSIENT (the node whose uplink flaps).
+    target: str
+    #: NETWORK_TRANSIENT only: how long the link stays degraded.
+    duration: Optional[float] = None
+
+    def describe(self) -> str:
+        extra = f" for {self.duration:.1f}s" if self.duration else ""
+        return f"t={self.time:.2f}s {self.failure_type.value} @ {self.target}{extra}"

@@ -1,0 +1,218 @@
+"""Layer math: residual MLP blocks and a classification head.
+
+Pure numpy functions with explicit caches, organised so that tensor
+parallelism can split them exactly:
+
+* the block's first linear is *column parallel* (each TP rank holds a
+  contiguous slice of hidden units),
+* the second linear is *row parallel* (each rank holds the matching slice
+  of rows) producing a partial output that the TP all-reduce sums,
+* the residual and second bias are applied once, after the reduction.
+
+With that split, TP-sharded math is numerically identical to the unsharded
+computation up to float summation order, which our parallel-engine tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU (the variant GPT-2 uses)."""
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and gradient w.r.t. logits.
+
+    The gradient is already divided by the batch size, so summing
+    per-sample contributions across data-parallel shards and averaging
+    (all-reduce MEAN over equal shards) reproduces the full-batch gradient.
+    """
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(n), labels] + 1e-30).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad
+
+
+@dataclass
+class MlpBlockParams:
+    """One (possibly TP-sharded) residual MLP block's parameters.
+
+    Exposes the same instance-method protocol as
+    :class:`~repro.framework.attention.AttentionBlockParams`, so engines
+    dispatch polymorphically over heterogeneous block stacks.
+    """
+
+    w1: np.ndarray   # (D, H_local) column-parallel
+    b1: np.ndarray   # (H_local,)
+    w2: np.ndarray   # (H_local, D) row-parallel
+    b2: np.ndarray   # (D,) replicated; applied post-reduction
+
+    def names(self) -> list[str]:
+        return ["w1", "b1", "w2", "b2"]
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {"w1": self.w1, "b1": self.b1, "w2": self.w2, "b2": self.b2}
+
+    def arrays(self) -> list[np.ndarray]:
+        return [self.w1, self.b1, self.w2, self.b2]
+
+    @staticmethod
+    def tp_replicated_param_names() -> tuple[str, ...]:
+        return ("b2",)
+
+    # -- instance-method protocol (delegates to the MlpBlock functions) ----------
+
+    def forward_partial(self, x: np.ndarray) -> tuple[np.ndarray, dict]:
+        return MlpBlock.forward_partial(x, self)
+
+    def finish_forward(self, x: np.ndarray, reduced: np.ndarray) -> np.ndarray:
+        return MlpBlock.finish_forward(x, reduced, self)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, dict]:
+        return MlpBlock.forward(x, self)
+
+    def backward(self, dy: np.ndarray,
+                 cache: dict) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        return MlpBlock.backward(dy, cache, self)
+
+    def backward_full(self, dy: np.ndarray,
+                      cache: dict) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        return MlpBlock.backward_full(dy, cache, self)
+
+
+class MlpBlock:
+    """Residual MLP block: ``y = x + gelu(x W1 + b1) W2 + b2``."""
+
+    @staticmethod
+    def init_params(rng: np.random.Generator, d_model: int, hidden: int,
+                    tp_rank: int = 0, tp_world: int = 1) -> MlpBlockParams:
+        """Initialise the TP shard for (tp_rank, tp_world).
+
+        The full weight matrices are drawn first and then sliced, so every
+        TP degree sees the same underlying full model.
+        """
+        if hidden % tp_world:
+            raise ValueError(f"hidden={hidden} not divisible by tp={tp_world}")
+        w1_full = rng.standard_normal((d_model, hidden)) * (1.0 / np.sqrt(d_model))
+        b1_full = np.zeros(hidden)
+        w2_full = rng.standard_normal((hidden, d_model)) * (1.0 / np.sqrt(hidden))
+        b2 = np.zeros(d_model)
+        shard = slice(tp_rank * hidden // tp_world, (tp_rank + 1) * hidden // tp_world)
+        return MlpBlockParams(w1=w1_full[:, shard].copy(), b1=b1_full[shard].copy(),
+                              w2=w2_full[shard, :].copy(), b2=b2)
+
+    @staticmethod
+    def forward_partial(x: np.ndarray, params: MlpBlockParams) -> tuple[np.ndarray, dict]:
+        """Compute this shard's partial output (before TP reduction).
+
+        Returns the partial ``h @ W2`` (no bias, no residual) plus cache.
+        """
+        pre = x @ params.w1 + params.b1
+        h = gelu(pre)
+        partial = h @ params.w2
+        cache = {"x": x, "pre": pre, "h": h}
+        return partial, cache
+
+    @staticmethod
+    def finish_forward(x: np.ndarray, reduced: np.ndarray,
+                       params: MlpBlockParams) -> np.ndarray:
+        """Apply bias and residual after the partial outputs were summed."""
+        return reduced + params.b2 + x
+
+    @staticmethod
+    def forward(x: np.ndarray, params: MlpBlockParams) -> tuple[np.ndarray, dict]:
+        """Unsharded forward (tp_world == 1 fast path)."""
+        partial, cache = MlpBlock.forward_partial(x, params)
+        return MlpBlock.finish_forward(x, partial, params), cache
+
+    @staticmethod
+    def backward(dy: np.ndarray, cache: dict,
+                 params: MlpBlockParams) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Backward through one shard.
+
+        ``dy`` is the gradient of the block output (same for every TP rank,
+        since the output was all-reduced).  Returns this shard's partial
+        ``dx`` — TP ranks must sum their ``dx`` contributions *excluding*
+        the residual, which is added once by the caller — and parameter
+        gradients.  For the unsharded path use :meth:`backward_full`.
+        """
+        h = cache["h"]
+        pre = cache["pre"]
+        x = cache["x"]
+        grads = {}
+        grads["w2"] = h.T @ dy
+        grads["b2"] = dy.sum(axis=0)
+        dh = dy @ params.w2.T
+        dpre = dh * gelu_grad(pre)
+        grads["w1"] = x.T @ dpre
+        grads["b1"] = dpre.sum(axis=0)
+        dx_partial = dpre @ params.w1.T
+        return dx_partial, grads
+
+    @staticmethod
+    def backward_full(dy: np.ndarray, cache: dict,
+                      params: MlpBlockParams) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Unsharded backward: adds the residual path to dx."""
+        dx_partial, grads = MlpBlock.backward(dy, cache, params)
+        return dx_partial + dy, grads
+
+
+@dataclass
+class OutputHeadParams:
+    w: np.ndarray   # (D, C)
+    b: np.ndarray   # (C,)
+
+    def names(self) -> list[str]:
+        return ["w", "b"]
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {"w": self.w, "b": self.b}
+
+
+class OutputHead:
+    """Classification head: logits plus softmax cross-entropy loss."""
+
+    @staticmethod
+    def init_params(rng: np.random.Generator, d_model: int,
+                    n_classes: int) -> OutputHeadParams:
+        w = rng.standard_normal((d_model, n_classes)) * (1.0 / np.sqrt(d_model))
+        return OutputHeadParams(w=w, b=np.zeros(n_classes))
+
+    @staticmethod
+    def forward(x: np.ndarray, params: OutputHeadParams,
+                labels: np.ndarray) -> tuple[float, dict]:
+        logits = x @ params.w + params.b
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        cache = {"x": x, "dlogits": dlogits}
+        return loss, cache
+
+    @staticmethod
+    def backward(cache: dict,
+                 params: OutputHeadParams) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        x, dlogits = cache["x"], cache["dlogits"]
+        grads = {"w": x.T @ dlogits, "b": dlogits.sum(axis=0)}
+        dx = dlogits @ params.w.T
+        return dx, grads

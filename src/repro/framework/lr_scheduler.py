@@ -1,0 +1,92 @@
+"""Learning-rate schedules.
+
+Scheduler state is part of the CPU state a checkpoint must capture: the
+paper lists "learning rate scheduler" among the things the optimizer-step
+recovery path must treat atomically with the optimizer (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class LrScheduler:
+    """Base: maps an iteration index to a learning rate."""
+
+    def __init__(self, base_lr: float):
+        self.base_lr = base_lr
+        self.iteration = 0
+
+    def lr_at(self, iteration: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one iteration and return the LR to use for it."""
+        lr = self.lr_at(self.iteration)
+        self.iteration += 1
+        return lr
+
+    def state_dict(self) -> dict:
+        return {"iteration": self.iteration, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.iteration = int(state["iteration"])
+        self.base_lr = float(state["base_lr"])
+
+
+class ConstantLr(LrScheduler):
+    def lr_at(self, iteration: int) -> float:
+        return self.base_lr
+
+
+class WarmupLinearLr(LrScheduler):
+    """Linear warmup then linear decay to zero at ``total_iters``."""
+
+    def __init__(self, base_lr: float, warmup_iters: int, total_iters: int):
+        super().__init__(base_lr)
+        if warmup_iters < 0 or total_iters <= warmup_iters:
+            raise ValueError("need 0 <= warmup_iters < total_iters")
+        self.warmup_iters = warmup_iters
+        self.total_iters = total_iters
+
+    def lr_at(self, iteration: int) -> float:
+        if self.warmup_iters and iteration < self.warmup_iters:
+            return self.base_lr * (iteration + 1) / self.warmup_iters
+        remaining = max(0, self.total_iters - iteration)
+        return self.base_lr * remaining / (self.total_iters - self.warmup_iters)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(warmup_iters=self.warmup_iters, total_iters=self.total_iters)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.warmup_iters = int(state["warmup_iters"])
+        self.total_iters = int(state["total_iters"])
+
+
+class CosineLr(LrScheduler):
+    """Cosine decay from base_lr to min_lr over ``total_iters``."""
+
+    def __init__(self, base_lr: float, total_iters: int, min_lr: float = 0.0):
+        super().__init__(base_lr)
+        if total_iters <= 0:
+            raise ValueError("total_iters must be positive")
+        self.total_iters = total_iters
+        self.min_lr = min_lr
+
+    def lr_at(self, iteration: int) -> float:
+        progress = min(1.0, iteration / self.total_iters)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(total_iters=self.total_iters, min_lr=self.min_lr)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.total_iters = int(state["total_iters"])
+        self.min_lr = float(state["min_lr"])

@@ -1,0 +1,152 @@
+"""Optimizers over flat dicts of numpy parameters.
+
+The optimizer *step* is the only point where model state mutates — the
+invariant the paper's whole recovery strategy leans on (Section 1.1).  The
+state dict (returned by :meth:`Optimizer.state_dict`) is exactly what a
+checkpoint must capture besides the parameters themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+ParamDict = dict[str, np.ndarray]
+
+
+class Optimizer:
+    """Base: binds a parameter dict and updates it from a gradient dict."""
+
+    def __init__(self, params: ParamDict, lr: float = 1e-3):
+        self.params = params
+        self.lr = lr
+        self.step_count = 0
+
+    def step(self, grads: ParamDict, lr: Optional[float] = None) -> None:
+        effective_lr = self.lr if lr is None else lr
+        self.step_count += 1
+        self._apply(grads, effective_lr)
+
+    def _apply(self, grads: ParamDict, lr: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"step_count": self.step_count, "lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+
+
+class Sgd(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: ParamDict, lr: float = 1e-3, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.velocity: ParamDict = {
+            name: np.zeros_like(value) for name, value in params.items()
+        } if momentum else {}
+
+    def _apply(self, grads: ParamDict, lr: float) -> None:
+        for name, param in self.params.items():
+            grad = grads[name]
+            if self.momentum:
+                vel = self.velocity[name]
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            param -= lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["velocity"] = {k: v.copy() for k, v in self.velocity.items()}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = state["momentum"]
+        for name, value in state["velocity"].items():
+            self.velocity[name][...] = value
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params: ParamDict, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.m: ParamDict = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v: ParamDict = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def _apply(self, grads: ParamDict, lr: float) -> None:
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.step_count
+        bias2 = 1.0 - b2**self.step_count
+        for name, param in self.params.items():
+            grad = grads[name]
+            m = self.m[name]
+            v = self.v[name]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            beta1=self.beta1, beta2=self.beta2, eps=self.eps,
+            m={k: v.copy() for k, v in self.m.items()},
+            v={k: v.copy() for k, v in self.v.items()},
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1, self.beta2, self.eps = state["beta1"], state["beta2"], state["eps"]
+        for name, value in state["m"].items():
+            self.m[name][...] = value
+        for name, value in state["v"].items():
+            self.v[name][...] = value
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def __init__(self, params: ParamDict, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        super().__init__(params, lr, beta1, beta2, eps)
+        self.weight_decay = weight_decay
+
+    def _apply(self, grads: ParamDict, lr: float) -> None:
+        for param in self.params.values():
+            param *= 1.0 - lr * self.weight_decay
+        super()._apply(grads, lr)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["weight_decay"] = self.weight_decay
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.weight_decay = state["weight_decay"]
+
+
+def make_optimizer(kind: str, params: ParamDict, lr: float = 1e-3) -> Optimizer:
+    """Factory used by workload configs ("sgd" / "adam" / "adamw")."""
+    kinds: dict[str, Callable[..., Optimizer]] = {
+        "sgd": Sgd, "adam": Adam, "adamw": AdamW,
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown optimizer {kind!r}; choose from {sorted(kinds)}")
+    return kinds[kind](params, lr=lr)

@@ -1,0 +1,83 @@
+"""Checkpointable training RNG (dropout et al.).
+
+The paper lists "random number generator state" among the CPU state a JIT
+checkpoint must capture (Section 3.2): with stochastic operators like
+dropout, redoing a minibatch only reproduces the original run if the RNG
+is rewound to its state at that minibatch's start.  This module provides
+a Philox-backed generator whose full state can be captured and restored,
+plus the Megatron-style seeding rule that keeps tensor-parallel ranks'
+draws aligned (TP ranks apply dropout to the *same* reduced activations
+and must use identical masks).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class TrainingRng:
+    """A stateful, checkpointable RNG stream."""
+
+    def __init__(self, seed: int, stream_key: int = 0):
+        self.seed = seed
+        self.stream_key = stream_key
+        self._generator = np.random.Generator(
+            np.random.Philox(key=(seed << 16) ^ stream_key))
+
+    def reseed(self, iteration: int) -> None:
+        """Pin the stream to a pure function of (seed, stream, iteration).
+
+        Engines call this at every minibatch start (Megatron's RNG-tracker
+        discipline): a rank restored from a *replica's* checkpoint regains
+        its own stream at the next iteration, and any state is exactly
+        reconstructible from the iteration index alone.  Within an
+        iteration the stream is still stateful — draws advance it — which
+        is why replay must rewind to the minibatch-start snapshot.
+        """
+        self._generator = np.random.Generator(
+            np.random.Philox(key=(self.seed << 16) ^ self.stream_key,
+                             counter=iteration))
+
+    # -- draws -------------------------------------------------------------------
+
+    def dropout_mask(self, shape, p: float) -> np.ndarray:
+        """Inverted-dropout mask: zeros with probability p, else 1/(1-p)."""
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        if p == 0.0:
+            return np.ones(shape)
+        keep = self._generator.random(shape) >= p
+        return keep.astype(float) / (1.0 - p)
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def get_state(self) -> dict[str, Any]:
+        """The full bit-generator state (JSON-ish, deep-copy safe)."""
+        import copy
+
+        return {"seed": self.seed, "stream_key": self.stream_key,
+                "bit_generator": copy.deepcopy(
+                    self._generator.bit_generator.state)}
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore the stream *position*.
+
+        Identity (seed, stream_key) is deliberately NOT adopted: a rank
+        restoring a data-parallel replica's checkpoint must not start
+        drawing the replica's dropout masks — ``reseed`` re-derives this
+        rank's own stream at the next minibatch, and within-minibatch
+        rewinds always restore a snapshot this rank itself produced.
+        """
+        import copy
+
+        self._generator.bit_generator.state = copy.deepcopy(
+            state["bit_generator"])
+
+
+def dropout_stream_key(dp_rank: int, pp_stage: int = 0) -> int:
+    """Megatron-style RNG placement: one stream per (data-parallel rank,
+    pipeline stage), *shared across tensor-parallel ranks* so post-
+    reduction dropout masks match within a TP group."""
+    return (dp_rank << 8) | pp_stage

@@ -1,0 +1,32 @@
+"""Simulated cluster hardware: GPUs, hosts, interconnect, topology.
+
+The paper's testbed is nodes of 8x NVIDIA V100 32GB or 4x A100 80GB GPUs
+joined by NVLink (intra-node) and InfiniBand (inter-node).  This package
+models that hardware with explicit bandwidth/latency numbers and a health
+state machine per device, so that failure injection and recovery timing are
+driven by the same quantities the paper reasons about (PCIe bandwidth for
+checkpoint copies, interconnect bandwidth for collectives, ...).
+"""
+
+from repro.hardware.specs import GpuSpec, InterconnectSpec, NodeSpec, A100_80GB, V100_32GB
+from repro.hardware.gpu import Gpu, GpuHealth, GpuMemoryError
+from repro.hardware.node import Node
+from repro.hardware.network import Fabric, Link, LinkHealth
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+__all__ = [
+    "A100_80GB",
+    "Cluster",
+    "ClusterSpec",
+    "Fabric",
+    "Gpu",
+    "GpuHealth",
+    "GpuMemoryError",
+    "GpuSpec",
+    "InterconnectSpec",
+    "Link",
+    "LinkHealth",
+    "Node",
+    "NodeSpec",
+    "V100_32GB",
+]

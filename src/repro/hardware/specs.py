@@ -1,0 +1,98 @@
+"""Hardware constants for the devices used in the paper's evaluation.
+
+Bandwidths are in bytes/second, compute in FLOP/s, latencies in seconds.
+The PCIe figure matches the paper's Section 5.2 example ("PCIe Gen 4 bus
+which has a bandwidth of up to 32 GB/sec"); V100 nodes use PCIe Gen 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+MB = 1024**2
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    memory_bytes: int
+    #: Sustained training throughput in FLOP/s (mixed precision, realistic
+    #: utilisation rather than peak datasheet numbers).
+    compute_flops: float
+    #: Host <-> device bandwidth of the PCIe generation the GPU ships with.
+    pcie_bandwidth: float
+    #: Peak NVLink bandwidth to a peer GPU in the same node.
+    nvlink_bandwidth: float
+    #: Device memory (HBM) bandwidth; bounds optimizer-step time.
+    hbm_bandwidth: float
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Inter-node network description (InfiniBand in the paper's clusters)."""
+
+    name: str
+    bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Description of one host: GPU model/count plus host-side resources."""
+
+    name: str
+    gpu: GpuSpec
+    gpus_per_node: int
+    host_memory_bytes: int
+    #: Local SSD write bandwidth (PC_disk baseline writes here).
+    disk_bandwidth: float
+    #: tmpfs (RAM-backed filesystem) bandwidth (PC_mem baseline writes here).
+    tmpfs_bandwidth: float
+
+
+V100_32GB = GpuSpec(
+    name="V100-32GB",
+    memory_bytes=32 * GB,
+    compute_flops=62e12,
+    pcie_bandwidth=16 * GB,   # PCIe Gen 3 x16
+    nvlink_bandwidth=150 * GB,
+    hbm_bandwidth=900 * GB,
+)
+
+A100_80GB = GpuSpec(
+    name="A100-80GB",
+    memory_bytes=80 * GB,
+    compute_flops=190e12,
+    pcie_bandwidth=32 * GB,   # PCIe Gen 4 x16 (paper Section 5.2)
+    nvlink_bandwidth=300 * GB,
+    hbm_bandwidth=2000 * GB,
+)
+
+INFINIBAND_HDR = InterconnectSpec(name="IB-HDR-200", bandwidth=25 * GB, latency=5e-6)
+
+V100_NODE = NodeSpec(
+    name="DGX1-V100",
+    gpu=V100_32GB,
+    gpus_per_node=8,
+    host_memory_bytes=512 * GB,
+    disk_bandwidth=2 * GB,
+    tmpfs_bandwidth=10 * GB,
+)
+
+A100_NODE = NodeSpec(
+    name="A100x4",
+    gpu=A100_80GB,
+    gpus_per_node=4,
+    host_memory_bytes=1024 * GB,
+    disk_bandwidth=3 * GB,
+    tmpfs_bandwidth=14 * GB,
+)
+
+#: Object-store / shared-filesystem bandwidth per node for persisted
+#: checkpoints (conservative cloud blob storage figure).
+SHARED_STORE_BANDWIDTH = 1.5 * GB
+
+NODE_SPECS = {spec.name: spec for spec in (V100_NODE, A100_NODE)}

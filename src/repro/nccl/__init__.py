@@ -1,0 +1,26 @@
+"""Simulated NCCL: communicators and collective operations.
+
+The property the paper's whole design rests on is reproduced here exactly:
+a collective operation is a barrier — no rank's collective kernel completes
+until every rank's kernel has arrived, and a rank that never arrives
+(failed GPU, downed link) makes every healthy rank hang rather than error.
+That hang is what the just-in-time watchdog detects, and the barrier is
+what guarantees healthy replicas have not yet mutated their parameters
+(Section 4.2 of the paper).
+"""
+
+from repro.nccl.communicator import NcclCommunicator, NcclWorld, RankHandle
+from repro.nccl.cost import CollectiveCostModel
+from repro.nccl.errors import NcclError, NcclOpMismatch
+from repro.nccl.rendezvous import CollectiveInstance, ReduceOp
+
+__all__ = [
+    "CollectiveCostModel",
+    "CollectiveInstance",
+    "NcclCommunicator",
+    "NcclError",
+    "NcclOpMismatch",
+    "NcclWorld",
+    "RankHandle",
+    "ReduceOp",
+]

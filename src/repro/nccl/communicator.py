@@ -1,0 +1,278 @@
+"""NCCL communicators and the world registry.
+
+A communicator binds a set of ranks (each with a CUDA context and a node)
+and sequences their collective calls.  Re-initialisation after recovery
+pays the rendezvous cost the paper measures as the dominant part of
+transient-error recovery (Table 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.cuda.memory import DeviceBuffer
+from repro.cuda.runtime import CudaContext
+from repro.cuda.stream import CollectiveKernelOp, CudaStream, StreamOp
+from repro.nccl.cost import CollectiveCostModel
+from repro.nccl.errors import NcclError, NcclOpMismatch
+from repro.nccl.rendezvous import CollectiveInstance, ReduceOp
+from repro.sim import Environment, Event, Tracer
+
+_comm_ids = itertools.count()
+
+
+class RankHandle:
+    """One rank's membership in a communicator."""
+
+    def __init__(self, rank: int, context: CudaContext):
+        self.rank = rank
+        self.context = context
+
+    @property
+    def node_name(self) -> str:
+        return self.context.node.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankHandle {self.rank} on {self.context.gpu.gpu_id}>"
+
+
+class NcclCommunicator:
+    """A group of ranks issuing matched collective calls."""
+
+    def __init__(self, env: Environment, name: str, handles: list[RankHandle],
+                 cost: CollectiveCostModel, fabric=None,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.comm_id = next(_comm_ids)
+        self.name = name or f"comm{self.comm_id}"
+        self.handles = {h.rank: h for h in handles}
+        if len(self.handles) != len(handles):
+            raise NcclError("duplicate ranks in communicator")
+        self.cost = cost
+        self.fabric = fabric
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.generation = 0
+        self.aborted = False
+        self._seq: dict[int, int] = {rank: 0 for rank in self.handles}
+        self._instances: dict[int, CollectiveInstance] = {}
+        #: Independent per-side sequence counters: the sender's nth send to
+        #: a peer pairs with the receiver's nth recv from that peer.
+        self._p2p_send_seq: dict[tuple[int, int], int] = {}
+        self._p2p_recv_seq: dict[tuple[int, int], int] = {}
+        self._p2p_instances: dict[tuple[int, int, int], CollectiveInstance] = {}
+        self._init_instance: Optional[CollectiveInstance] = None
+        self._initialized = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return len(self.handles)
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.handles)
+
+    @property
+    def node_names(self) -> set[str]:
+        return {h.node_name for h in self.handles.values()}
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def _check_alive(self) -> None:
+        if self.aborted:
+            raise NcclError(f"{self.name} has been aborted")
+
+    # -- initialisation ------------------------------------------------------------
+
+    def init_rank(self, rank: int) -> Generator:
+        """Blocking rendezvous: returns once every rank has joined.
+
+        This is the step recovery re-pays after tearing communicators down;
+        its duration follows :meth:`CollectiveCostModel.init`.
+        """
+        self._check_alive()
+        if rank not in self.handles:
+            raise NcclError(f"rank {rank} not in {self.name}")
+        if self._init_instance is None or self._init_instance.aborted:
+            duration = self.cost.init(self.nranks, self.nnodes)
+            self._init_instance = CollectiveInstance(
+                self.env, "init", frozenset(self.handles),
+                duration_fn=lambda _nbytes, d=duration: d,
+                fabric=self.fabric, node_names=self.node_names,
+                name=f"{self.name}:init:g{self.generation}")
+        yield self._init_instance.arrive(rank)
+        self._initialized = True
+        self.tracer.record(self.env.now, self.name, "comm_init_done", rank=rank)
+
+    # -- collective sequencing --------------------------------------------------------
+
+    def _instance_for(self, rank: int, kind: str,
+                      reduce_op: ReduceOp = ReduceOp.SUM) -> CollectiveInstance:
+        self._check_alive()
+        seq = self._seq[rank]
+        self._seq[rank] += 1
+        instance = self._instances.get(seq)
+        if instance is None:
+            duration_fn = {
+                "all_reduce": lambda n: self.cost.all_reduce(n, self.nranks),
+                "all_gather": lambda n: self.cost.all_gather(n, self.nranks),
+                "reduce_scatter": lambda n: self.cost.reduce_scatter(n, self.nranks),
+                "broadcast": lambda n: self.cost.broadcast(n, self.nranks),
+                "barrier": lambda n: self.cost.latency * 2 * max(1, self.nranks - 1),
+            }[kind]
+            instance = CollectiveInstance(
+                self.env, kind, frozenset(self.handles), duration_fn,
+                fabric=self.fabric, node_names=self.node_names,
+                reduce_op=reduce_op,
+                name=f"{self.name}:{kind}#{seq}:g{self.generation}")
+            self._instances[seq] = instance
+        elif instance.kind != kind:
+            raise NcclOpMismatch(
+                f"{self.name} seq {seq}: rank {rank} issued {kind}, "
+                f"others issued {instance.kind}")
+        return instance
+
+    def _enqueue(self, rank: int, instance: CollectiveInstance,
+                 stream: CudaStream) -> StreamOp:
+        op = CollectiveKernelOp(instance.name, instance, rank)
+        stream.enqueue(op)
+        return op
+
+    # -- collectives (CPU-side async calls) ----------------------------------------------
+
+    def all_reduce(self, rank: int, buf: DeviceBuffer, stream: CudaStream,
+                   op: ReduceOp = ReduceOp.SUM) -> StreamOp:
+        """In-place all-reduce of *buf* across all ranks."""
+        instance = self._instance_for(rank, "all_reduce", op)
+        instance.register(rank, send=buf.array, recv=buf.array,
+                          nbytes=buf.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    def broadcast(self, rank: int, buf: DeviceBuffer, root: int,
+                  stream: CudaStream) -> StreamOp:
+        instance = self._instance_for(rank, "broadcast")
+        instance.register(rank, send=buf.array if rank == root else None,
+                          recv=buf.array, nbytes=buf.logical_nbytes, root=root)
+        return self._enqueue(rank, instance, stream)
+
+    def all_gather(self, rank: int, send: DeviceBuffer, recv: DeviceBuffer,
+                   stream: CudaStream) -> StreamOp:
+        instance = self._instance_for(rank, "all_gather")
+        instance.register(rank, send=send.array, recv=recv.array,
+                          nbytes=recv.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    def reduce_scatter(self, rank: int, send: DeviceBuffer, recv: DeviceBuffer,
+                       stream: CudaStream,
+                       op: ReduceOp = ReduceOp.SUM) -> StreamOp:
+        instance = self._instance_for(rank, "reduce_scatter", op)
+        instance.register(rank, send=send.array, recv=recv.array,
+                          nbytes=send.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    def barrier(self, rank: int, stream: CudaStream) -> StreamOp:
+        instance = self._instance_for(rank, "barrier")
+        instance.register(rank, send=None, recv=None, nbytes=0)
+        return self._enqueue(rank, instance, stream)
+
+    # -- point to point -----------------------------------------------------------------
+
+    def _p2p_instance(self, src: int, dst: int, seq: int) -> CollectiveInstance:
+        self._check_alive()
+        instance_key = (src, dst, seq)
+        instance = self._p2p_instances.get(instance_key)
+        if instance is None:
+            src_node = self.handles[src].node_name
+            dst_node = self.handles[dst].node_name
+            instance = CollectiveInstance(
+                self.env, "send_recv", frozenset({src, dst}),
+                duration_fn=self.cost.send_recv,
+                fabric=self.fabric, node_names={src_node, dst_node},
+                name=f"{self.name}:p2p:{src}->{dst}#{seq}:g{self.generation}")
+            self._p2p_instances[instance_key] = instance
+        return instance
+
+    def send(self, rank: int, buf: DeviceBuffer, dst: int,
+             stream: CudaStream) -> StreamOp:
+        key = (rank, dst)
+        seq = self._p2p_send_seq.get(key, 0)
+        self._p2p_send_seq[key] = seq + 1
+        instance = self._p2p_instance(rank, dst, seq)
+        instance.register(rank, send=buf.array, recv=None,
+                          nbytes=buf.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    def recv(self, rank: int, buf: DeviceBuffer, src: int,
+             stream: CudaStream) -> StreamOp:
+        key = (src, rank)
+        seq = self._p2p_recv_seq.get(key, 0)
+        self._p2p_recv_seq[key] = seq + 1
+        instance = self._p2p_instance(src, rank, seq)
+        instance.register(rank, send=None, recv=buf.array,
+                          nbytes=buf.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def outstanding_instances(self) -> list[CollectiveInstance]:
+        pending = [i for i in self._instances.values()
+                   if not i.completed and not i.aborted]
+        pending += [i for i in self._p2p_instances.values()
+                    if not i.completed and not i.aborted]
+        if self._init_instance is not None and not self._init_instance.completed:
+            pending.append(self._init_instance)
+        return pending
+
+    def abort(self, reason: str = "recovery") -> None:
+        """Tear the communicator down, waking every blocked rank with an error."""
+        if self.aborted:
+            return
+        self.aborted = True
+        for instance in self.outstanding_instances():
+            instance.abort(reason)
+        self.tracer.record(self.env.now, self.name, "comm_abort", reason=reason)
+
+
+class NcclWorld:
+    """Registry of all communicators in a job (for recovery teardown/re-init)."""
+
+    def __init__(self, env: Environment, fabric=None,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.fabric = fabric
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.communicators: list[NcclCommunicator] = []
+
+    def create_communicator(self, name: str, handles: list[RankHandle],
+                            cost: CollectiveCostModel) -> NcclCommunicator:
+        comm = NcclCommunicator(self.env, name, handles, cost,
+                                fabric=self.fabric, tracer=self.tracer)
+        self.communicators.append(comm)
+        return comm
+
+    def recreate(self, comm: NcclCommunicator,
+                 handles: Optional[list[RankHandle]] = None) -> NcclCommunicator:
+        """Abort *comm* and register a successor with bumped generation."""
+        comm.abort("recreate")
+        new_handles = handles or list(comm.handles.values())
+        successor = NcclCommunicator(self.env, comm.name, new_handles, comm.cost,
+                                     fabric=self.fabric, tracer=self.tracer)
+        successor.generation = comm.generation + 1
+        try:
+            index = self.communicators.index(comm)
+            self.communicators[index] = successor
+        except ValueError:
+            self.communicators.append(successor)
+        return successor
+
+    def abort_all(self, reason: str = "recovery") -> None:
+        for comm in self.communicators:
+            comm.abort(reason)

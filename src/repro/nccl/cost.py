@@ -1,0 +1,60 @@
+"""Timing model for collectives and communicator (re-)initialisation.
+
+Ring-algorithm cost formulas (standard NCCL analysis):
+
+* all-reduce moves ``2 (n-1)/n`` of the payload through the bottleneck link;
+* all-gather / reduce-scatter move ``(n-1)/n``;
+* broadcast and point-to-point move the payload once.
+
+Communicator initialisation is dominated by the rendezvous across all rank
+workers plus per-rank channel setup; Table 7 of the paper measures it at
+1-15.5 seconds depending on the number and the span of communicators, which
+is the behaviour this model produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Bandwidth/latency figures for one communicator's rank set."""
+
+    bandwidth: float        # bottleneck bytes/sec along the ring
+    latency: float          # per-hop latency, seconds
+    #: Fixed cost of the bootstrap rendezvous when (re)creating a
+    #: communicator (TCP bootstrap + topology detection).
+    init_base: float = 0.9
+    #: Per-rank channel setup cost during init.
+    init_per_rank: float = 0.12
+    #: Extra init cost per node spanned (IB queue-pair setup).
+    init_per_node: float = 0.45
+
+    def all_reduce(self, nbytes: int, nranks: int) -> float:
+        if nranks <= 1:
+            return 0.0
+        steps = 2 * (nranks - 1)
+        moved = 2 * (nranks - 1) / nranks * nbytes
+        return moved / self.bandwidth + steps * self.latency
+
+    def all_gather(self, nbytes: int, nranks: int) -> float:
+        if nranks <= 1:
+            return 0.0
+        moved = (nranks - 1) / nranks * nbytes
+        return moved / self.bandwidth + (nranks - 1) * self.latency
+
+    reduce_scatter = all_gather
+
+    def broadcast(self, nbytes: int, nranks: int) -> float:
+        if nranks <= 1:
+            return 0.0
+        return nbytes / self.bandwidth + self.latency
+
+    def send_recv(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth + self.latency
+
+    def init(self, nranks: int, nnodes: int) -> float:
+        return (self.init_base
+                + self.init_per_rank * nranks
+                + self.init_per_node * max(0, nnodes - 1))

@@ -1,0 +1,15 @@
+"""NCCL-level errors."""
+
+from __future__ import annotations
+
+
+class NcclError(Exception):
+    """Generic NCCL failure (aborted communicator, dead peer, ...)."""
+
+
+class NcclOpMismatch(NcclError):
+    """Ranks issued different collectives at the same sequence number.
+
+    Real NCCL deadlocks or corrupts data in this case; we fail fast since
+    it always indicates a bug in the parallel engine.
+    """

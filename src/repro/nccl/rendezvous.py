@@ -1,0 +1,186 @@
+"""Cross-rank rendezvous for one collective call instance.
+
+One :class:`CollectiveInstance` exists per (communicator, sequence number).
+Each rank's CPU thread *registers* its payload when it enqueues the
+collective kernel; each rank's stream executor *arrives* when that kernel
+reaches the head of its stream.  Only when every rank has arrived does the
+transfer begin — until then, arrived ranks block, giving the exact
+hang-on-failure behaviour the watchdog relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cuda.errors import CudaApiError, CudaError
+from repro.nccl.errors import NcclError, NcclOpMismatch
+from repro.sim import Environment, Event
+
+
+class ReduceOp(enum.Enum):
+    SUM = "sum"
+    MEAN = "mean"
+    MAX = "max"
+
+
+@dataclass
+class _Registration:
+    send: Optional[np.ndarray]
+    recv: Optional[np.ndarray]
+    nbytes: int
+    root: Optional[int] = None
+
+
+class CollectiveInstance:
+    """One in-flight collective across all ranks of a communicator."""
+
+    _POLL_INTERVAL = 0.05  # seconds between fabric-health polls
+
+    def __init__(self, env: Environment, kind: str, participants: frozenset[int],
+                 duration_fn, fabric=None, node_names: Optional[set[str]] = None,
+                 reduce_op: ReduceOp = ReduceOp.SUM, name: str = ""):
+        self.env = env
+        self.kind = kind
+        self.participants = participants
+        self.reduce_op = reduce_op
+        self.name = name or kind
+        self._duration_fn = duration_fn
+        self._fabric = fabric
+        self._node_names = node_names or set()
+        self._registrations: dict[int, _Registration] = {}
+        self._arrival_events: dict[int, Event] = {}
+        self._arrived: set[int] = set()
+        self._launched = False
+        self._process = None
+        self.completed = False
+        self.aborted = False
+        self.completion_time: Optional[float] = None
+
+    # -- CPU side -------------------------------------------------------------
+
+    def register(self, rank: int, send: Optional[np.ndarray],
+                 recv: Optional[np.ndarray], nbytes: int,
+                 root: Optional[int] = None) -> None:
+        if rank not in self.participants:
+            raise NcclError(f"rank {rank} not in {sorted(self.participants)}")
+        if rank in self._registrations:
+            raise NcclOpMismatch(f"rank {rank} registered twice for {self.name}")
+        self._registrations[rank] = _Registration(send, recv, nbytes, root)
+
+    # -- device side ------------------------------------------------------------
+
+    def arrive(self, rank: int) -> Event:
+        """Rank's kernel reached stream head; returns its completion event."""
+        if self.aborted:
+            failed = self.env.event(name=f"aborted:{self.name}:{rank}")
+            failed.fail(CudaApiError(CudaError.STICKY, f"{self.name} aborted"))
+            failed.defuse()
+            return failed
+        event = self._arrival_events.get(rank)
+        if event is None:
+            event = self.env.event(name=f"collective:{self.name}:{rank}")
+            self._arrival_events[rank] = event
+        self._arrived.add(rank)
+        if self._arrived == self.participants and not self._launched:
+            self._launched = True
+            self._process = self.env.process(self._transfer(),
+                                             name=f"xfer:{self.name}")
+        return event
+
+    @property
+    def missing_ranks(self) -> set[int]:
+        return set(self.participants) - self._arrived
+
+    # -- transfer -----------------------------------------------------------------
+
+    def _path_is_up(self) -> bool:
+        if self._fabric is None:
+            return True
+        return self._fabric.path_is_up(self._node_names)
+
+    def _transfer(self):
+        total_nbytes = max((r.nbytes for r in self._registrations.values()),
+                           default=0)
+        duration = self._duration_fn(total_nbytes)
+        # A degraded/down link stalls the transfer: the collective simply
+        # does not complete, which upper layers observe as a hang.
+        while True:
+            while not self._path_is_up():
+                yield self.env.timeout(self._POLL_INTERVAL)
+            if duration > 0:
+                yield self.env.timeout(duration)
+            if self._path_is_up():
+                break
+        if self.aborted:
+            return
+        self._apply()
+        self.completed = True
+        self.completion_time = self.env.now
+        for rank in sorted(self.participants):
+            event = self._arrival_events.get(rank)
+            if event is not None and not event.triggered:
+                event.succeed(self)
+
+    # -- data movement semantics ------------------------------------------------------
+
+    def _apply(self) -> None:
+        regs = self._registrations
+        ranks = sorted(self.participants)
+        if self.kind in ("barrier", "init"):
+            return
+        if self.kind == "all_reduce":
+            stacked = np.stack([regs[r].send for r in ranks])
+            if self.reduce_op is ReduceOp.SUM:
+                reduced = stacked.sum(axis=0)
+            elif self.reduce_op is ReduceOp.MEAN:
+                reduced = stacked.mean(axis=0)
+            else:
+                reduced = stacked.max(axis=0)
+            for r in ranks:
+                regs[r].recv[...] = reduced
+        elif self.kind == "broadcast":
+            roots = {regs[r].root for r in ranks if regs[r].root is not None}
+            if len(roots) != 1:
+                raise NcclOpMismatch(f"broadcast roots disagree: {roots}")
+            payload = regs[roots.pop()].send.copy()
+            for r in ranks:
+                regs[r].recv[...] = payload
+        elif self.kind == "all_gather":
+            gathered = np.concatenate(
+                [np.ravel(regs[r].send) for r in ranks])
+            for r in ranks:
+                regs[r].recv.reshape(-1)[...] = gathered
+        elif self.kind == "reduce_scatter":
+            stacked = np.stack([np.ravel(regs[r].send) for r in ranks])
+            if self.reduce_op is ReduceOp.MEAN:
+                reduced = stacked.mean(axis=0)
+            else:
+                reduced = stacked.sum(axis=0)
+            chunks = np.split(reduced, len(ranks))
+            for i, r in enumerate(ranks):
+                regs[r].recv.reshape(-1)[...] = chunks[i]
+        elif self.kind == "send_recv":
+            sender = next(r for r in ranks if regs[r].send is not None)
+            receiver = next(r for r in ranks if regs[r].recv is not None)
+            regs[receiver].recv[...] = regs[sender].send
+        else:  # pragma: no cover - guarded by communicator API
+            raise NcclError(f"unknown collective kind {self.kind!r}")
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def abort(self, reason: str = "recovery") -> None:
+        """Fail every blocked rank (used when recovery tears comms down)."""
+        if self.completed or self.aborted:
+            return
+        self.aborted = True
+        if self._process is not None and self._process.is_alive:
+            self._process.kill()
+        exc = CudaApiError(CudaError.STICKY, f"{self.name} aborted: {reason}")
+        for event in self._arrival_events.values():
+            if not event.triggered:
+                event.fail(exc)
+                event.defuse()

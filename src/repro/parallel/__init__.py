@@ -1,0 +1,23 @@
+"""Distributed training engines: DDP, tensor/pipeline/3D parallel, FSDP.
+
+Each engine drives one rank's training loop against the simulated CUDA and
+NCCL substrates through a :class:`~repro.parallel.deviceapi.DeviceApi`
+seam.  The seam is what the paper's interception layers latch onto: the
+user-level watchdog subclasses it to watch collective events, and the
+transparent device proxy subclasses it to log and replay every call.
+"""
+
+from repro.parallel.topology import ParallelLayout, RankCoords
+from repro.parallel.deviceapi import DeviceApi
+from repro.parallel.ddp import DataParallelEngine
+from repro.parallel.three_d import ThreeDEngine
+from repro.parallel.fsdp import FsdpEngine
+
+__all__ = [
+    "DataParallelEngine",
+    "DeviceApi",
+    "FsdpEngine",
+    "ParallelLayout",
+    "RankCoords",
+    "ThreeDEngine",
+]

@@ -1,0 +1,179 @@
+"""Shared engine machinery: parameter registration and checkpoint state.
+
+``state_dict`` / ``load_state_dict`` define the checkpoint format used by
+*both* periodic baselines and JIT checkpointing — the paper notes the two
+share code and file formats so they compose (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cuda.memory import BufferKind, DeviceBuffer
+from repro.framework.costmodel import TrainingCostModel
+from repro.framework.lr_scheduler import ConstantLr, LrScheduler
+from repro.framework.models import ModelConfig
+from repro.framework.optim import Optimizer, make_optimizer
+from repro.parallel.buffers import allocate_group
+from repro.parallel.deviceapi import DeviceApi
+
+
+class BaseEngine:
+    """Common state shared by all parallel training engines."""
+
+    def __init__(self, api: DeviceApi, config: ModelConfig,
+                 cost: TrainingCostModel, optimizer_kind: str = "adam",
+                 lr: float = 1e-2, scheduler: Optional[LrScheduler] = None):
+        self.api = api
+        self.config = config
+        self.cost = cost
+        self.gpu_spec = api.ctx.gpu.spec
+        self.compute_stream = api.create_stream("compute")
+        self.comm_stream = api.create_stream("comm")
+        self.optimizer_kind = optimizer_kind
+        self.base_lr = lr
+        self.scheduler = scheduler or ConstantLr(lr)
+        self.optimizer: Optional[Optimizer] = None
+        #: name -> DeviceBuffer for parameters (set by subclasses).
+        self.param_buffers: dict[str, DeviceBuffer] = {}
+        #: name -> DeviceBuffer for optimizer moments.
+        self.opt_buffers: dict[str, DeviceBuffer] = {}
+        #: Next iteration to execute (the checkpointed resume point).
+        self.iteration = 0
+        #: Iteration this engine (re)started computing from: 0 for a cold
+        #: start, or the checkpoint's iteration after a restore.  Earlier
+        #: loss-history entries were inherited from the checkpoint.
+        self.restored_at = 0
+        self.loss_history: list[float] = []
+        #: Buffer groups from prior iterations, freed once the CPU is sure
+        #: the device has consumed them (start of the following step).
+        self._deferred_frees: list[list] = []
+        #: Optional checkpointable RNG (set by engines with stochastic
+        #: ops).  ``_rng_snapshot`` holds the state as of the current
+        #: iteration's start — the state a checkpoint labelled with this
+        #: iteration must carry (paper Section 3.2: "random number
+        #: generator state").
+        self.rng = None
+        self._rng_snapshot = None
+        self._rng_snapshot_iteration = -1
+        #: Human-readable shard id; equal across data-parallel replicas so
+        #: replicas read each other's checkpoint files (Section 3.3).
+        self.shard_id = "full"
+
+    # -- parameter plumbing ------------------------------------------------------------
+
+    def _register_params(self, named_arrays: dict[str, np.ndarray]) -> None:
+        """Allocate parameter buffers, the optimizer, and moment buffers."""
+        self.param_buffers = allocate_group(
+            self.api, named_arrays, self.cost.param_bytes_local,
+            BufferKind.PARAM)
+        params = {name: buf.array for name, buf in self.param_buffers.items()}
+        self.optimizer = make_optimizer(self.optimizer_kind, params,
+                                        lr=self.base_lr)
+        moments = {}
+        for attr in ("m", "v", "velocity"):
+            for name, array in getattr(self.optimizer, attr, {}).items():
+                moments[f"{attr}.{name}"] = array
+        if moments:
+            self.opt_buffers = allocate_group(
+                self.api, moments, self.cost.optimizer_bytes_local,
+                BufferKind.OPTIMIZER_STATE)
+
+    # -- checkpoint format ----------------------------------------------------------------
+
+    def _snapshot_rng(self, iteration: int) -> None:
+        """Record checkpoint metadata for this iteration's RNG.
+
+        The actual stream position is re-derived on-device by the logged
+        ``rng_reseed`` kernel (a pure function of the iteration), so the
+        snapshot here is bookkeeping: what a checkpoint labelled with this
+        iteration carries."""
+        if self.rng is not None:
+            import copy as _copy
+
+            fresh = type(self.rng)(self.rng.seed, self.rng.stream_key)
+            fresh.reseed(iteration)
+            self._rng_snapshot = fresh.get_state()
+            self._rng_snapshot_iteration = iteration
+
+    def _rng_state_for_checkpoint(self):
+        if self.rng is None:
+            return None
+        if self._rng_snapshot_iteration == self.iteration:
+            # Mid-iteration (a JIT checkpoint during a hang): the resume
+            # point is this iteration's start.
+            return self._rng_snapshot
+        # Between iterations (periodic checkpoint): the live state IS the
+        # next iteration's start state.
+        return self.rng.get_state()
+
+    def state_dict(self) -> dict:
+        """CPU-side snapshot of everything needed to resume this shard."""
+        return {
+            "iteration": self.iteration,
+            "shard_id": self.shard_id,
+            "model": self.config.name,
+            "params": {name: buf.array.copy()
+                       for name, buf in self.param_buffers.items()},
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "loss_history": list(self.loss_history),
+            "rng": self._rng_state_for_checkpoint(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["shard_id"] != self.shard_id:
+            raise ValueError(
+                f"checkpoint shard {state['shard_id']!r} does not match "
+                f"engine shard {self.shard_id!r}")
+        if state["model"] != self.config.name:
+            raise ValueError(
+                f"checkpoint model {state['model']!r} != {self.config.name!r}")
+        for name, value in state["params"].items():
+            self.param_buffers[name].array[...] = value
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.scheduler.load_state_dict(state["scheduler"])
+        self.iteration = int(state["iteration"])
+        # Engines derive the LR purely from the iteration index
+        # (``lr_at``), so pin the scheduler to the resume point regardless
+        # of how far the CPU had run ahead when the snapshot was taken.
+        self.scheduler.iteration = self.iteration
+        self.loss_history = list(state["loss_history"])
+        self.restored_at = self.iteration
+        if self.rng is not None and state.get("rng") is not None:
+            self.rng.set_state(state["rng"])
+            self._rng_snapshot = state["rng"]
+            self._rng_snapshot_iteration = self.iteration
+
+    @property
+    def state_bytes(self) -> int:
+        """Logical size of one shard checkpoint (params + optimizer)."""
+        return self.cost.checkpoint_bytes_local
+
+    @property
+    def last_loss(self) -> Optional[float]:
+        return self.loss_history[-1] if self.loss_history else None
+
+    @property
+    def is_checkpoint_writer(self) -> bool:
+        """Does this rank write periodic checkpoints for its shard?
+
+        One data-parallel replica per shard writes; the rest wait at the
+        next collective (an emergent barrier).  Subclasses override.
+        """
+        return True
+
+    # -- iteration-buffer lifecycle ---------------------------------------------------
+
+    def _flush_deferred_frees(self) -> None:
+        for bufs in self._deferred_frees:
+            for buf in bufs:
+                self.api.free(buf)
+        self._deferred_frees = []
+
+    def finish(self):
+        """Drain the device after the last enqueued iteration."""
+        yield from self.api.device_synchronize()
+        self._flush_deferred_frees()

@@ -1,0 +1,46 @@
+"""Helpers for allocating parameter/state buffers with logical sizing.
+
+Logical bytes (the scale the paper's models occupy) are distributed over
+the small semantic arrays proportionally, with the remainder pinned to the
+last buffer so group totals are exact — checkpoint-size accounting and
+copy timing depend on those totals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cuda.memory import BufferKind
+
+
+def distribute_logical_bytes(arrays: dict[str, np.ndarray],
+                             total_bytes: int) -> dict[str, int]:
+    """Split *total_bytes* across arrays proportional to semantic size."""
+    names = list(arrays)
+    semantic_total = sum(arrays[name].nbytes for name in names) or 1
+    shares = {}
+    allocated = 0
+    for name in names[:-1]:
+        share = int(total_bytes * arrays[name].nbytes / semantic_total)
+        shares[name] = share
+        allocated += share
+    shares[names[-1]] = total_bytes - allocated
+    return shares
+
+
+def allocate_group(api, arrays: dict[str, np.ndarray], total_bytes: int,
+                   kind: BufferKind, prefix: str = "") -> dict:
+    """Allocate one DeviceBuffer per array; returns name -> buffer.
+
+    The buffers wrap the arrays *without copying* (contiguous numpy arrays
+    are adopted as-is), so optimizers mutating the arrays mutate GPU state.
+    """
+    shares = distribute_logical_bytes(arrays, total_bytes)
+    buffers = {}
+    for name, array in arrays.items():
+        label = f"{prefix}{name}" if prefix else name
+        buffers[name] = api.malloc(array, kind, logical_nbytes=shares[name],
+                                   label=label)
+    return buffers

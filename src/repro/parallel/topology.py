@@ -1,0 +1,90 @@
+"""Rank grids for 3D parallelism.
+
+Rank order follows the Megatron convention: tensor-parallel neighbours are
+closest (so TP traffic stays on NVLink), then pipeline, then data parallel.
+``rank = dp_idx * (pp * tp) + pp_idx * tp + tp_idx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RankCoords:
+    dp: int
+    pp: int
+    tp: int
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """Degrees of data, pipeline and tensor parallelism."""
+
+    dp: int = 1
+    pp: int = 1
+    tp: int = 1
+
+    def __post_init__(self):
+        if min(self.dp, self.pp, self.tp) < 1:
+            raise ValueError(f"degrees must be >= 1, got {self}")
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.pp * self.tp
+
+    # -- coordinate mapping -------------------------------------------------------
+
+    def coords(self, rank: int) -> RankCoords:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for {self}")
+        tp_idx = rank % self.tp
+        pp_idx = (rank // self.tp) % self.pp
+        dp_idx = rank // (self.tp * self.pp)
+        return RankCoords(dp=dp_idx, pp=pp_idx, tp=tp_idx)
+
+    def rank_of(self, dp: int, pp: int, tp: int) -> int:
+        return dp * (self.pp * self.tp) + pp * self.tp + tp
+
+    # -- communicator groups -----------------------------------------------------------
+
+    def dp_group(self, pp: int, tp: int) -> list[int]:
+        """Ranks holding the same model shard (gradient all-reduce group)."""
+        return [self.rank_of(d, pp, tp) for d in range(self.dp)]
+
+    def tp_group(self, dp: int, pp: int) -> list[int]:
+        return [self.rank_of(dp, pp, t) for t in range(self.tp)]
+
+    def pp_group(self, dp: int, tp: int) -> list[int]:
+        return [self.rank_of(dp, p, tp) for p in range(self.pp)]
+
+    def all_dp_groups(self) -> list[list[int]]:
+        return [self.dp_group(p, t) for p in range(self.pp) for t in range(self.tp)]
+
+    def all_tp_groups(self) -> list[list[int]]:
+        return [self.tp_group(d, p) for d in range(self.dp) for p in range(self.pp)]
+
+    def all_pp_groups(self) -> list[list[int]]:
+        return [self.pp_group(d, t) for d in range(self.dp) for t in range(self.tp)]
+
+    def replicas_of(self, rank: int) -> list[int]:
+        """Data-parallel replicas holding the same state as *rank*.
+
+        This is where JIT checkpointing looks for a healthy copy of a
+        failed rank's parameters.
+        """
+        c = self.coords(rank)
+        return [r for r in self.dp_group(c.pp, c.tp) if r != rank]
+
+    # -- layer assignment -----------------------------------------------------------------
+
+    def layer_range(self, pp_idx: int, n_layers: int) -> tuple[int, int]:
+        """Contiguous block of layers owned by pipeline stage *pp_idx*."""
+        if n_layers % self.pp:
+            raise ValueError(f"{n_layers} layers not divisible by pp={self.pp}")
+        per_stage = n_layers // self.pp
+        return pp_idx * per_stage, (pp_idx + 1) * per_stage
+
+    def describe(self) -> str:
+        """Paper-style label, e.g. '2D-4P-2T' (Table 2)."""
+        return f"{self.dp}D-{self.pp}P-{self.tp}T"

@@ -1,0 +1,325 @@
+"""Core event loop, events, processes and timeouts."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: Sentinel stored in ``Event._value`` while the event is untriggered.
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process receives the interrupt at its current ``yield``
+    statement and may catch it to run recovery logic (this is how watchdogs
+    abort workers blocked on a hung collective).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process when it is killed (no recovery expected)."""
+
+
+class Event:
+    """A single occurrence that processes can wait for.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, which schedules it on the environment queue;
+    it is *processed* once its callbacks have run.
+    """
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = PRIORITY_NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self._ok = True
+        self._value = value
+        env._schedule(self, priority=priority, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator exits.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the generator is resumed with the event's value; when it fails,
+    the exception is thrown into the generator.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the process off via an already-succeeded initialisation event.
+        init = Event(env, name=f"init:{self.name}")
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            return
+        self.env._schedule_interrupt(self, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled`.
+
+        Used by the failure injector / scheduler to model killing a worker
+        OS process.  A killed process's completion event *succeeds* with
+        ``None`` (the death is expected, not an error of the simulation).
+        """
+        if not self.is_alive:
+            return
+        self.env._schedule_interrupt(self, ProcessKilled())
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        if self.triggered:
+            # The process already finished (e.g. it aborted itself and a
+            # late interrupt arrives): nothing to resume.
+            return
+        self._detach_from_target()
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_target = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        next_target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._finish(ok=True, value=stop.value)
+                    return
+                except ProcessKilled:
+                    self._generator.close()
+                    self._finish(ok=True, value=None)
+                    return
+                except BaseException as exc:
+                    self._finish(ok=False, value=exc)
+                    return
+
+                if not isinstance(next_target, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded {next_target!r}, expected an Event")
+                    self._generator.throw(exc)
+                    raise exc
+                if next_target.processed:
+                    # Already-processed events resume the generator in place.
+                    event = next_target
+                    continue
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                return
+        finally:
+            self.env._active_process = None
+
+    def _detach_from_target(self) -> None:
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._detach_from_target()
+        if ok:
+            self.succeed(value)
+        else:
+            self._ok = False
+            self._value = value
+            self.env._schedule(self)
+
+
+class Environment:
+    """The simulation environment: clock plus ordered event queue."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- public factory helpers --------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AllOf
+
+        return AllOf(self, list(events))
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                  delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _schedule_interrupt(self, process: Process, exc: BaseException) -> None:
+        """Deliver *exc* to *process* as an urgent synthetic event."""
+        carrier = Event(self, name=f"interrupt:{process.name}")
+        carrier._ok = False
+        carrier._value = exc
+        carrier._defused = True
+        # Detach the process from whatever it currently waits on so the
+        # original event no longer resumes it.
+        process._detach_from_target()
+        carrier.callbacks.append(process._resume)
+        self._schedule(carrier, priority=PRIORITY_URGENT)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty queue")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Returns the value of *until* when it is an event, otherwise ``None``.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        f"deadlock: queue empty but {stop_event!r} never triggered")
+                self.step()
+            # Drain the trigger through its callbacks so value access is safe.
+            while not stop_event.processed and self._queue:
+                next_time = self._queue[0][0]
+                if next_time > self._now:
+                    break
+                self.step()
+            if not stop_event._ok and not stop_event._defused:
+                raise stop_event._value
+            return stop_event._value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, deadline)
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf when the queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,66 @@
+"""Structured tracing of simulation runs.
+
+Benchmarks reconstruct paper figures (e.g. Figure 3's compute/communication
+overlap schedule) from these traces, and tests assert ordering invariants
+on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record: at `time`, `actor` did `action` (with free-form detail)."""
+
+    time: float
+    actor: str
+    action: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[{self.time:12.6f}] {self.actor:<28} {self.action} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in time order."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, actor: str, action: str, **detail: Any) -> None:
+        if self.enabled:
+            self._events.append(TraceEvent(time, actor, action, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        """An empty tracer is still a tracer (guards ``tracer or ...``)."""
+        return True
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def filter(self, actor: str | None = None, action: str | None = None) -> list[TraceEvent]:
+        return [
+            event
+            for event in self._events
+            if (actor is None or event.actor == actor)
+            and (action is None or event.action == action)
+        ]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def render(self, limit: int | None = None) -> str:
+        events = self._events if limit is None else self._events[:limit]
+        return "\n".join(str(event) for event in events)

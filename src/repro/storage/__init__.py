@@ -1,0 +1,21 @@
+"""Checkpoint storage: shared object store, local disk, tmpfs.
+
+Checkpoint durability is central to both the periodic baselines (PC_disk
+writes to local disk in the critical path, PC_mem to tmpfs with an async
+upload) and to JIT checkpointing (healthy ranks write their GPU state to a
+shared store during recovery, Section 3.2).  All stores model transfer
+time from logical byte counts and implement the paper's atomic-commit
+scheme: payload objects first, a metadata record last, so a crash mid-write
+leaves a checkpoint that restore logic can detect as incomplete and discard
+(Section 3.3).
+"""
+
+from repro.storage.objects import StoredObject
+from repro.storage.stores import LocalDiskStore, SharedObjectStore, TmpfsStore
+
+__all__ = [
+    "LocalDiskStore",
+    "SharedObjectStore",
+    "StoredObject",
+    "TmpfsStore",
+]

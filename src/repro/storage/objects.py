@@ -1,0 +1,31 @@
+"""Stored objects: named blobs with logical sizes and completion markers."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Optional
+
+
+class StoredObject:
+    """One blob in a store.
+
+    ``complete`` flips true only when the writing process survives the full
+    transfer; a writer killed mid-write leaves ``complete=False``, which is
+    how checkpoint-assembly code detects and discards torn checkpoints.
+    """
+
+    def __init__(self, path: str, payload: Any, nbytes: int):
+        self.path = path
+        self._payload = payload
+        self.nbytes = int(nbytes)
+        self.complete = False
+        self.created_at: Optional[float] = None
+
+    @property
+    def payload(self) -> Any:
+        """A defensive deep copy; readers must not alias store internals."""
+        return copy.deepcopy(self._payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self.complete else "partial"
+        return f"<StoredObject {self.path} {self.nbytes}B {state}>"

@@ -1,0 +1,119 @@
+"""Store implementations with transfer-time models.
+
+All three expose the same generator API:
+
+* ``write(path, payload, nbytes)`` — blocks the calling process for the
+  transfer time; the object only becomes ``complete`` when the write
+  finishes (kill the writer mid-transfer to model a torn write);
+* ``read(path)`` — blocks for the transfer time and returns the payload.
+
+Payloads are deep-copied on both write and read: a checkpoint must not
+alias live training arrays, otherwise later optimizer steps would corrupt
+history (the bug class periodic-checkpoint snapshots guard against).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Generator, Optional
+
+from repro.sim import Environment, Resource
+from repro.storage.objects import StoredObject
+
+
+class _BaseStore:
+    def __init__(self, env: Environment, bandwidth: float, latency: float = 0.0,
+                 name: str = "store"):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._objects: dict[str, StoredObject] = {}
+        #: Serialisation point for stores that cannot absorb parallel
+        #: writers (local disk); None means writes proceed in parallel.
+        self._resource: Optional[Resource] = None
+
+    # -- timing -------------------------------------------------------------
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+    # -- write/read ------------------------------------------------------------
+
+    def write(self, path: str, payload: Any, nbytes: int) -> Generator:
+        """Write *payload* under *path*; completes only if uninterrupted."""
+        obj = StoredObject(path, copy.deepcopy(payload), nbytes)
+        self._objects[path] = obj   # visible immediately, but incomplete
+        if self._resource is not None:
+            yield from self._resource.use(self.transfer_time(nbytes))
+        else:
+            yield self.env.timeout(self.transfer_time(nbytes))
+        obj.complete = True
+        obj.created_at = self.env.now
+
+    def read(self, path: str) -> Generator:
+        obj = self._objects.get(path)
+        if obj is None or not obj.complete:
+            raise FileNotFoundError(f"{self.name}:{path}")
+        if self._resource is not None:
+            yield from self._resource.use(self.transfer_time(obj.nbytes))
+        else:
+            yield self.env.timeout(self.transfer_time(obj.nbytes))
+        return obj.payload
+
+    # -- metadata ------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        obj = self._objects.get(path)
+        return obj is not None and obj.complete
+
+    def stat(self, path: str) -> Optional[StoredObject]:
+        return self._objects.get(path)
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Paths of *complete* objects under *prefix*, sorted."""
+        return sorted(path for path, obj in self._objects.items()
+                      if obj.complete and path.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        self._objects.pop(path, None)
+
+    def wipe(self) -> None:
+        self._objects.clear()
+
+
+class SharedObjectStore(_BaseStore):
+    """Cluster-wide durable store (cloud blob / shared filesystem).
+
+    Survives node loss; this is where JIT checkpoints and periodic
+    checkpoints that must outlive a node are written.  Writers from
+    different nodes proceed in parallel (object stores scale out).
+    """
+
+    def __init__(self, env: Environment, bandwidth: float, latency: float = 0.01):
+        super().__init__(env, bandwidth, latency, name="shared")
+
+
+class LocalDiskStore(_BaseStore):
+    """Node-local SSD; writes serialise on the node's disk.
+
+    Contents are lost if the node is replaced, which is why PC_disk alone
+    cannot recover from hard node failures.
+    """
+
+    def __init__(self, env: Environment, node, latency: float = 1e-3):
+        super().__init__(env, node.spec.disk_bandwidth, latency,
+                         name=f"disk:{node.name}")
+        self.node = node
+        self._resource = node.disk
+
+
+class TmpfsStore(_BaseStore):
+    """RAM-backed filesystem on one node (PC_mem's first hop)."""
+
+    def __init__(self, env: Environment, node, latency: float = 1e-5):
+        super().__init__(env, node.spec.tmpfs_bandwidth, latency,
+                         name=f"tmpfs:{node.name}")
+        self.node = node

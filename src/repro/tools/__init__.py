@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+``python -m repro.tools.report`` prints the analytical paper tables
+(Table 3 overheads, Table 8 scaling, Section 5.1 dollar costs) and a
+strategy recommendation without running any simulation — the quick-look
+companion to the full ``pytest benchmarks/`` reproduction.
+"""

@@ -1,0 +1,131 @@
+"""Print the paper's analytical tables from the calibrated models.
+
+Usage::
+
+    python -m repro.tools.report            # all sections
+    python -m repro.tools.report table3     # one section
+    python -m repro.tools.report table8 s51 recommend
+
+Everything here is closed-form (Section 5 equations over the calibrated
+hardware model); the simulation-backed tables (4-7) live in
+``benchmarks/`` because they execute failures end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    CalibratedParameters,
+    CostParameters,
+    dollar_cost_per_month,
+    jit_transparent_wasted_per_gpu,
+    jit_user_level_wasted_per_gpu,
+    optimal_checkpoint_frequency,
+    periodic_wasted_per_gpu,
+    wasted_fraction,
+)
+from repro.analysis.calibration import OPT_FAILURE_RATE_PER_GPU_PER_DAY
+from repro.analysis.mtbf import MtbfEstimate, recommend_strategy
+from repro.core.periodic import CheckpointMode, critical_path_seconds
+from repro.workloads.catalog import WORKLOADS
+
+SECONDS_PER_DAY = 86400.0
+
+
+def _rule(width: int = 78) -> None:
+    print("-" * width)
+
+
+def report_table3() -> None:
+    print("\nTable 3 — steady-state checkpointing overhead % "
+          "(optimal frequency, f = 2/day per 992 GPUs)")
+    _rule()
+    print(f"{'Model':<12} {'PC_disk':>9} {'PC_mem':>9} {'CheckFreq':>10} "
+          f"{'PC_1/day':>10} {'JIT-C':>7}")
+    failure_rate = OPT_FAILURE_RATE_PER_GPU_PER_DAY / SECONDS_PER_DAY
+    for name in ("GPT2-S", "GPT2-XL", "GPT2-8B", "GPT2-18B", "BERT-L-PT",
+                 "BERT-B-FT"):
+        spec = WORKLOADS[name]
+        cells = []
+        for mode in CheckpointMode:
+            o = critical_path_seconds(spec, mode)
+            c = optimal_checkpoint_frequency(spec.world_size, failure_rate, o)
+            cells.append(100 * c * o)
+        once_daily = 100 * critical_path_seconds(
+            spec, CheckpointMode.PC_MEM) / SECONDS_PER_DAY
+        print(f"{name:<12} {cells[0]:>8.3f}% {cells[1]:>8.3f}% "
+              f"{cells[2]:>9.3f}% {once_daily:>9.4f}% {'~0':>7}")
+
+
+def report_table8() -> None:
+    print("\nTable 8 — wasted-GPU-time scaling (w_f at optimal periodic "
+          "frequency vs JIT)")
+    _rule()
+    print(f"{'Model':<12} {'N':>6} {'c*/hr':>8} {'periodic':>9} "
+          f"{'user JIT':>9} {'transparent':>12}")
+    for name in ("BERT-L-PT", "BERT-B-FT", "GPT2-S", "GPT2-8B"):
+        params = CalibratedParameters.from_spec(WORKLOADS[name]).params
+        transparent = CostParameters(params.checkpoint_overhead,
+                                     params.failure_rate, 0.0,
+                                     params.minibatch_time)
+        for n in (4, 1024, 8192):
+            c_star = optimal_checkpoint_frequency(
+                n, params.failure_rate, params.checkpoint_overhead)
+            print(f"{name:<12} {n:>6} {c_star * 3600:>8.2f} "
+                  f"{100 * wasted_fraction(periodic_wasted_per_gpu(n, params)):>8.3f}% "
+                  f"{100 * wasted_fraction(jit_user_level_wasted_per_gpu(n, params)):>8.3f}% "
+                  f"{100 * wasted_fraction(jit_transparent_wasted_per_gpu(n, transparent)):>11.4f}%")
+
+
+def report_s51() -> None:
+    print("\nSection 5.1 — monthly dollar cost of failures ($4/GPU-hour, "
+          "30-minute periodic checkpoints)")
+    _rule()
+    for n in (1000, 4000, 10_000):
+        failures_per_day = n / 1000.0
+        cost = dollar_cost_per_month(n, failures_per_day,
+                                     lost_hours_per_failure=0.25)
+        print(f"{n:>7} GPUs: {failures_per_day:>5.1f} failures/day -> "
+              f"${cost:>12,.0f}/month")
+
+
+def report_recommendation() -> None:
+    print("\nStrategy recommendation (observed: 60 failures / 30 days / "
+          "992 GPUs)")
+    _rule()
+    estimate = MtbfEstimate(failures=60,
+                            gpu_seconds=992 * 30 * SECONDS_PER_DAY)
+    for name in ("BERT-L-PT", "GPT2-8B"):
+        params = CalibratedParameters.from_spec(WORKLOADS[name]).params
+        for n in (1024, 8192):
+            rec = recommend_strategy(estimate, n, params)
+            interval = (f"periodic every {rec.checkpoint_interval_seconds / 3600:.1f} h"
+                        if rec.checkpoint_interval_seconds else "no periodic")
+            print(f"{name:<12} N={n:<6} -> {rec.strategy:<14} ({interval}; "
+                  f"expected waste {100 * rec.expected_wasted_fraction:.3f}%)")
+
+
+SECTIONS = {
+    "table3": report_table3,
+    "table8": report_table8,
+    "s51": report_s51,
+    "recommend": report_recommendation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    chosen = args or list(SECTIONS)
+    unknown = [a for a in chosen if a not in SECTIONS]
+    if unknown:
+        print(f"unknown section(s) {unknown}; choose from {sorted(SECTIONS)}")
+        return 2
+    for section in chosen:
+        SECTIONS[section]()
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Workload catalogue (the paper's Table 2) and the job builder.
+
+A :class:`WorkloadSpec` names a model, a cluster shape, a parallel layout
+and the paper's measured minibatch time; :class:`~repro.workloads.builder.
+TrainingJob` materialises the whole simulated stack for it — cluster,
+CUDA contexts, communicators and per-rank engines — ready for a driver
+(tests, benchmarks, the cluster scheduler) to run.
+"""
+
+from repro.workloads.catalog import WORKLOADS, WorkloadSpec
+from repro.workloads.builder import TrainingJob
+
+__all__ = ["TrainingJob", "WORKLOADS", "WorkloadSpec"]

@@ -1,0 +1,104 @@
+"""Tests for MTBF estimation and strategy recommendation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.calibration import CalibratedParameters
+from repro.analysis.mtbf import (
+    MtbfEstimate,
+    estimate_from_events,
+    recommend_strategy,
+)
+from repro.workloads.catalog import WORKLOADS
+
+DAY = 86400.0
+
+
+def test_opt_anchor_reproduced():
+    """OPT: >100 failures over ~2 months on 992 GPUs -> ~2/day job rate."""
+    estimate = MtbfEstimate(failures=120, gpu_seconds=992 * 60 * DAY)
+    job_rate_per_day = estimate.rate_per_gpu_second * 992 * DAY
+    assert job_rate_per_day == pytest.approx(2.0, rel=0.01)
+    # Job MTBF ~ 12 hours.
+    assert estimate.job_mtbf_seconds(992) == pytest.approx(12 * 3600, rel=0.01)
+
+
+def test_job_mtbf_shrinks_linearly_with_gpus():
+    estimate = MtbfEstimate(failures=10, gpu_seconds=1000 * 10 * DAY)
+    assert (estimate.job_mtbf_seconds(100)
+            == pytest.approx(10 * estimate.job_mtbf_seconds(1000)))
+
+
+def test_paper_mtbf_band():
+    """Paper Section 1: large-job MTBF of 3-23 hours at ~1k GPUs."""
+    estimate = MtbfEstimate(failures=60, gpu_seconds=992 * 30 * DAY)
+    mtbf_hours = estimate.job_mtbf_seconds(992) / 3600
+    assert 3 <= mtbf_hours <= 23
+
+
+def test_estimate_from_events_validates_window():
+    with pytest.raises(ValueError):
+        estimate_from_events([5.0, 200.0], n_gpus=4, window_seconds=100.0)
+    estimate = estimate_from_events([1.0, 2.0, 3.0], 4, 100.0)
+    assert estimate.failures == 3
+    assert estimate.gpu_seconds == 400.0
+
+
+def test_zero_failures_gives_zero_rate_and_infinite_mtbf():
+    estimate = MtbfEstimate(failures=0, gpu_seconds=1e9)
+    assert estimate.rate_per_gpu_second == 0.0
+    assert estimate.job_mtbf_seconds(1000) == math.inf
+    low, high = estimate.rate_interval()
+    assert low == 0.0 and high > 0.0
+
+
+@given(failures=st.integers(1, 1000), gpu_days=st.floats(1.0, 1e7))
+@settings(max_examples=100)
+def test_confidence_interval_brackets_estimate(failures, gpu_days):
+    estimate = MtbfEstimate(failures=failures, gpu_seconds=gpu_days * DAY)
+    low, high = estimate.rate_interval()
+    assert low <= estimate.rate_per_gpu_second <= high
+
+
+def bert_estimate():
+    return MtbfEstimate(failures=60, gpu_seconds=992 * 30 * DAY)
+
+
+def test_recommendation_with_replicas_is_jit_plus_periodic():
+    params = CalibratedParameters.from_spec(WORKLOADS["BERT-L-PT"]).params
+    rec = recommend_strategy(bert_estimate(), 1024, params,
+                             has_replicas=True)
+    assert rec.strategy == "jit+periodic"
+    # Catastrophes are ~1% of failures, so the periodic interval is ~10x
+    # the all-failures optimal interval (sqrt dependence).
+    assert rec.checkpoint_interval_seconds > 3600
+    assert rec.expected_wasted_fraction < 0.01
+
+
+def test_recommendation_without_replicas_is_periodic():
+    params = CalibratedParameters.from_spec(WORKLOADS["BERT-L-PT"]).params
+    rec = recommend_strategy(bert_estimate(), 1024, params,
+                             has_replicas=False)
+    assert rec.strategy == "periodic"
+    assert rec.checkpoint_interval_seconds is not None
+    assert "replicas" in rec.rationale
+
+
+def test_recommendation_jit_only_when_no_catastrophes():
+    params = CalibratedParameters.from_spec(WORKLOADS["BERT-L-PT"]).params
+    rec = recommend_strategy(bert_estimate(), 1024, params,
+                             has_replicas=True, catastrophic_share=0.0)
+    assert rec.strategy == "jit"
+    assert rec.checkpoint_interval_seconds is None
+
+
+def test_jit_recommendation_wastes_less_than_periodic_fallback():
+    params = CalibratedParameters.from_spec(WORKLOADS["GPT2-8B"]).params
+    jit = recommend_strategy(bert_estimate(), 4096, params,
+                             has_replicas=True)
+    periodic = recommend_strategy(bert_estimate(), 4096, params,
+                                  has_replicas=False)
+    assert jit.expected_wasted_fraction < periodic.expected_wasted_fraction

@@ -1,0 +1,242 @@
+"""Unit/integration tests for rank workers, the job manager, and CRIU."""
+
+import pytest
+
+from repro.cluster import CriuManager, InitCosts, JobManager, WorkerStatus
+from repro.cluster.worker import RankWorker
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.hardware import GpuHealth
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment, Mailbox
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+
+# -- InitCosts -----------------------------------------------------------------------
+
+
+def test_init_costs_total():
+    costs = InitCosts(process_start=1.0, framework_init=2.0, data_prep=3.0)
+    assert costs.total == 6.0
+
+
+# -- RankWorker ----------------------------------------------------------------------
+
+
+def make_single_rank_worker(iters=3, warm_start=False):
+    spec = make_spec(layout=ParallelLayout(dp=1))
+    job = TrainingJob(spec)
+    control = Mailbox(job.env)
+    worker = RankWorker(job.env, 0, job.engines[0], control,
+                        target_iterations=iters,
+                        init_costs=InitCosts(1.0, 1.0, 1.0),
+                        warm_start=warm_start)
+    return job, control, worker
+
+
+def test_worker_runs_to_done():
+    job, control, worker = make_single_rank_worker()
+    worker.start()
+    job.env.run(until=worker.process)
+    assert worker.status is WorkerStatus.DONE
+    assert worker.engine.iteration == 3
+    statuses = [m.status for m in control.drain()]
+    assert statuses == [WorkerStatus.RUNNING, WorkerStatus.DONE]
+
+
+def test_worker_pays_init_costs_cold_but_not_warm():
+    job, _, cold = make_single_rank_worker()
+    cold.start()
+    job.env.run(until=cold.process)
+    cold_span = cold.running_at - cold.started_at
+
+    job2, _, warm = make_single_rank_worker(warm_start=True)
+    warm.start()
+    job2.env.run(until=warm.process)
+    warm_span = warm.running_at - warm.started_at
+    assert cold_span == pytest.approx(warm_span + 3.0)
+
+
+def test_worker_crash_reports_to_control():
+    spec = make_spec(layout=ParallelLayout(dp=1))
+    job = TrainingJob(spec)
+    control = Mailbox(job.env)
+    worker = RankWorker(job.env, 0, job.engines[0], control,
+                        target_iterations=100,
+                        init_costs=InitCosts(0.1, 0.1, 0.1))
+    worker.start()
+
+    def failer():
+        # Poison the GPU while the worker is still initialising: its very
+        # first device API call will raise and the script dies, like an
+        # uninstrumented job.
+        yield job.env.timeout(0.2)
+        job.contexts[0].gpu.fail(GpuHealth.STICKY_ERROR)
+
+    job.env.process(failer())
+    job.env.run(until=worker.process)
+    assert worker.status is WorkerStatus.CRASHED
+    assert worker.crash_reason
+    assert any(m.status is WorkerStatus.CRASHED for m in control.drain())
+
+
+def test_worker_blocked_on_dead_device_hangs_not_crashes():
+    """A failure mid-wait never surfaces to the worker: it hangs forever.
+    This is precisely why hang detection (watchdog / progress timeout)
+    exists — error codes alone are not enough (paper Section 3)."""
+    spec = make_spec(layout=ParallelLayout(dp=1))
+    job = TrainingJob(spec)
+    worker = RankWorker(job.env, 0, job.engines[0], Mailbox(job.env),
+                        target_iterations=100,
+                        init_costs=InitCosts(0.1, 0.1, 0.1))
+    worker.start()
+
+    def failer():
+        yield job.env.timeout(1.0)
+        job.contexts[0].gpu.fail(GpuHealth.STICKY_ERROR)
+
+    job.env.process(failer())
+    job.env.run(until=30.0)
+    assert worker.status is WorkerStatus.RUNNING  # stuck, not crashed
+
+
+def test_worker_kill_marks_killed():
+    job, _, worker = make_single_rank_worker(iters=10**6)
+    worker.start()
+    job.env.run(until=2.0)
+    worker.kill()
+    job.env.run(until=3.0)
+    assert worker.status is WorkerStatus.KILLED
+
+
+def test_step_hook_called_each_iteration():
+    spec = make_spec(layout=ParallelLayout(dp=1))
+    job = TrainingJob(spec)
+    calls = []
+
+    def hook(worker):
+        calls.append(worker.engine.iteration)
+        return
+        yield  # pragma: no cover - generator shape
+
+    worker = RankWorker(job.env, 0, job.engines[0], Mailbox(job.env),
+                        target_iterations=4, init_costs=InitCosts(0, 0, 0),
+                        step_hook=hook)
+    worker.start()
+    job.env.run(until=worker.process)
+    assert calls == [0, 1, 2, 3]
+
+
+# -- JobManager ------------------------------------------------------------------------
+
+
+def run_manager(spec, failures=(), iters=40, **kwargs):
+    env = Environment()
+    manager = JobManager(env, spec, target_iterations=iters,
+                         init_costs=InitCosts(1.0, 0.5, 0.5),
+                         progress_timeout=kwargs.pop("progress_timeout", 20.0))
+    injector = FailureInjector(env, manager.cluster)
+    injector.arm(failures)
+    report = env.run(until=env.process(manager.run(**kwargs)))
+    return manager, report
+
+
+def test_manager_completes_without_failures():
+    spec = make_spec(layout=ParallelLayout(dp=2))
+    manager, report = run_manager(spec)
+    assert report.completed
+    assert report.restarts == 0
+    assert len(report.final_losses) == 40
+    assert report.generations[0].outcome == "done"
+
+
+def test_manager_restarts_on_failure():
+    spec = make_spec(layout=ParallelLayout(dp=2))
+    failure = FailureEvent(4.0, FailureType.GPU_STICKY, "node0/gpu0")
+    manager, report = run_manager(spec, [failure])
+    assert report.completed
+    assert report.restarts >= 1
+    # Without a JIT watchdog, a mid-iteration device failure manifests as
+    # a hang (nobody's API call errors); the progress timeout catches it.
+    assert report.generations[0].outcome in ("crash", "hang")
+
+
+def test_manager_heals_sticky_gpus_between_generations():
+    spec = make_spec(layout=ParallelLayout(dp=2))
+    failure = FailureEvent(4.0, FailureType.GPU_STICKY, "node0/gpu0")
+    manager, report = run_manager(spec, [failure])
+    assert report.completed
+    # The sticky GPU was driver-reset and is reusable.
+    assert manager.cluster.gpu_by_id("node0/gpu0").health is GpuHealth.HEALTHY
+
+
+def test_manager_excludes_dead_gpus_at_placement():
+    spec = make_spec(layout=ParallelLayout(dp=2))
+    failure = FailureEvent(4.0, FailureType.GPU_HARD, "node0/gpu0")
+    manager, report = run_manager(spec, [failure])
+    assert report.completed
+    final_gpus = {ctx.gpu.gpu_id for ctx in manager.current_job.contexts}
+    assert "node0/gpu0" not in final_gpus
+
+
+def test_manager_detects_pure_hangs_by_progress_timeout():
+    spec = make_spec(layout=ParallelLayout(dp=12), num_nodes=2,
+                     global_batch=24)
+    failure = FailureEvent(6.0, FailureType.NETWORK_TRANSIENT, "node0",
+                           duration=500.0)
+    manager, report = run_manager(spec, [failure], progress_timeout=10.0)
+    assert any(g.outcome == "hang" for g in report.generations)
+
+
+def test_manager_gives_up_after_max_generations():
+    # A permanently downed inter-node link: every generation hangs at the
+    # communicator rendezvous and the progress watchdog restarts it.
+    spec = make_spec(layout=ParallelLayout(dp=12), num_nodes=2,
+                     global_batch=24)
+    env = Environment()
+    manager = JobManager(env, spec, target_iterations=50,
+                         init_costs=InitCosts(0.1, 0.1, 0.1),
+                         progress_timeout=5.0)
+    FailureInjector(env, manager.cluster).arm(
+        [FailureEvent(0.5, FailureType.NETWORK_TRANSIENT, "node0",
+                      duration=10**9)])
+    report = env.run(until=env.process(manager.run(max_generations=3)))
+    assert not report.completed
+    assert len(report.generations) == 3
+    assert all(g.outcome == "hang" for g in report.generations)
+
+
+# -- CriuManager -----------------------------------------------------------------------
+
+
+def test_criu_checkpoint_restore_roundtrip():
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=2 * 1024**3)
+    criu = CriuManager(env, store, image_bytes=4 * 1024**3)
+    state = {"iteration": 17, "rng": [1, 2, 3]}
+
+    def flow():
+        yield from criu.checkpoint("jobZ", 0, rank=3, cpu_state=state)
+        restored = yield from criu.restore("jobZ", 0, rank=3)
+        return restored
+
+    restored = env.run(until=env.process(flow()))
+    assert restored == state
+    # 4 GiB at 2 GiB/s, both directions.
+    assert env.now == pytest.approx(4.0, rel=0.05)
+    assert criu.has_image("jobZ", 0, 3)
+    assert not criu.has_image("jobZ", 1, 3)
+
+
+def test_criu_restore_missing_image_raises():
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1e9)
+    criu = CriuManager(env, store)
+
+    def flow():
+        yield from criu.restore("jobZ", 0, rank=0)
+
+    with pytest.raises(FileNotFoundError):
+        env.run(until=env.process(flow()))

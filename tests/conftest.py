@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.specs import A100_NODE, V100_NODE
+from repro.parallel.topology import ParallelLayout
+from repro.workloads import TrainingJob, WorkloadSpec
+
+
+def make_spec(name="TEST", model="GPT2-S", node_spec=None, num_nodes=1,
+              layout=None, engine="ddp", minibatch_time=0.05,
+              global_batch=16, seed=7, **kwargs) -> WorkloadSpec:
+    """A small, fast workload spec for unit/integration tests."""
+    return WorkloadSpec(
+        name=name, model=model, node_spec=node_spec or V100_NODE,
+        num_nodes=num_nodes, layout=layout or ParallelLayout(dp=2),
+        engine=engine, framework="test", minibatch_time=minibatch_time,
+        global_batch=global_batch, seed=seed, **kwargs)
+
+
+def make_job(**kwargs) -> TrainingJob:
+    return TrainingJob(make_spec(**kwargs))
+
+
+@pytest.fixture
+def small_ddp_job():
+    return make_job(layout=ParallelLayout(dp=2))

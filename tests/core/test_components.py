@@ -1,0 +1,164 @@
+"""Unit tests for core components: virtual handles, replay log, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core.replay_log import ApiRecord, Phase, ReplayLog
+from repro.core.telemetry import RecoveryTelemetry
+from repro.core.virtual_handles import (
+    VirtualBuffer,
+    VirtualEvent,
+    VirtualStream,
+)
+from repro.cuda import BufferKind, CudaContext
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Environment
+
+
+# -- virtual handles -----------------------------------------------------------------
+
+
+def make_ctx():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    return env, CudaContext(env, node.gpus[0], node)
+
+
+def test_virtual_buffer_owns_array_identity():
+    array = np.array([1.0, 2.0])
+    vbuf = VirtualBuffer(array, BufferKind.PARAM, 100, "w")
+    assert vbuf.array is array or np.shares_memory(vbuf.array, array)
+
+
+def test_virtual_buffer_bind_requires_array_adoption():
+    env, ctx = make_ctx()
+    vbuf = VirtualBuffer(np.zeros(4), BufferKind.PARAM, 100, "w")
+    good = ctx.malloc(vbuf.array, BufferKind.PARAM, logical_nbytes=100)
+    vbuf.bind(good)
+    assert vbuf.physical is good
+    alien = ctx.malloc(np.zeros(4), BufferKind.PARAM, logical_nbytes=100)
+    with pytest.raises(ValueError):
+        vbuf.bind(alien)
+
+
+def test_virtual_buffer_checksum_tracks_contents():
+    vbuf = VirtualBuffer(np.zeros(4), BufferKind.PARAM, 100, "w")
+    before = vbuf.checksum()
+    vbuf.array[0] = 1.0
+    assert vbuf.checksum() != before
+    vbuf.array[0] = 0.0
+    assert vbuf.checksum() == before
+
+
+def test_virtual_stream_event_unbound_access_raises():
+    vstream = VirtualStream("s")
+    vevent = VirtualEvent("e")
+    with pytest.raises(RuntimeError):
+        _ = vstream.physical
+    with pytest.raises(RuntimeError):
+        _ = vevent.physical
+
+
+def test_virtual_stream_rebinding():
+    env, ctx = make_ctx()
+    vstream = VirtualStream("s")
+    first = ctx.create_stream("a")
+    second = ctx.create_stream("b")
+    vstream.bind(first)
+    assert vstream.physical is first
+    vstream.bind(second)
+    assert vstream.physical is second
+
+
+# -- replay log ------------------------------------------------------------------------
+
+
+def test_replay_log_routes_by_minibatch_state():
+    log = ReplayLog()
+    log.append(ApiRecord("create_stream"))
+    assert len(log.creation_records) == 1
+    log.begin_minibatch(0)
+    log.append(ApiRecord("launch_kernel"))
+    assert len(log.records) == 1
+    assert log.in_minibatch
+    assert log.total_logged == 2
+
+
+def test_replay_log_retains_exactly_one_previous_minibatch():
+    log = ReplayLog()
+    for minibatch in range(3):
+        log.begin_minibatch(minibatch)
+        log.append(ApiRecord("launch_kernel", args=(minibatch,)))
+        log.append(ApiRecord("malloc", args=(minibatch,)))
+    assert [r.args[0] for r in log.records] == [2, 2]
+    assert [r.args[0] for r in log.previous_records] == [1, 1]
+
+
+def test_replay_log_records_of_filter():
+    log = ReplayLog()
+    log.begin_minibatch(0)
+    log.append(ApiRecord("malloc"))
+    log.append(ApiRecord("launch_kernel"))
+    log.append(ApiRecord("free"))
+    assert len(log.records_of("malloc", "free")) == 2
+
+
+def test_api_record_tags_minibatch_on_append():
+    log = ReplayLog()
+    log.begin_minibatch(7)
+    record = ApiRecord("launch_kernel")
+    log.append(record)
+    assert record.minibatch == 7
+
+
+# -- telemetry ---------------------------------------------------------------------------
+
+
+def test_telemetry_phases_and_breakdown():
+    env = Environment()
+    telemetry = RecoveryTelemetry(env)
+    record = telemetry.start("transient", rank=2)
+
+    def flow():
+        span = telemetry.begin(record, "reset")
+        yield env.timeout(1.5)
+        telemetry.end(span)
+        span = telemetry.begin(record, "replay")
+        yield env.timeout(0.5)
+        telemetry.end(span)
+        span = telemetry.begin(record, "reset")   # second reset span
+        yield env.timeout(0.25)
+        telemetry.end(span)
+        telemetry.finish(record)
+
+    env.run(until=env.process(flow()))
+    assert record.recovery_time == pytest.approx(2.25)
+    assert record.breakdown() == {"reset": 1.75, "replay": 0.5}
+    assert record.phase_duration("reset") == pytest.approx(1.75)
+
+
+def test_telemetry_unfinished_records_excluded_from_aggregates():
+    env = Environment()
+    telemetry = RecoveryTelemetry(env)
+    telemetry.start("transient")          # never finished
+    done = telemetry.start("transient")
+    telemetry.finish(done)
+    assert len(telemetry.by_kind("transient")) == 1
+    assert telemetry.mean_recovery_time("transient") == 0.0
+
+
+def test_telemetry_mean_requires_records():
+    env = Environment()
+    telemetry = RecoveryTelemetry(env)
+    with pytest.raises(ValueError):
+        telemetry.mean_recovery_time("hard")
+
+
+def test_open_phase_duration_raises():
+    env = Environment()
+    telemetry = RecoveryTelemetry(env)
+    record = telemetry.start("transient")
+    telemetry.begin(record, "reset")
+    with pytest.raises(ValueError):
+        record.breakdown()

@@ -1,0 +1,93 @@
+"""The full failure matrix: every mechanism x error class x parallelism.
+
+One parametrised sweep asserting the paper's semantics-preservation claim
+(bitwise-equal losses) holds across the whole configuration space, not
+just the flagship DDP runs.
+"""
+
+import pytest
+
+from repro.core import JitConfig, TransparentJitSystem, UserLevelJitRunner
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+ITERS = 16
+FAIL_ITER = 6
+
+LAYOUTS = {
+    "ddp4": dict(layout=ParallelLayout(dp=4), engine="ddp"),
+    "3d222": dict(layout=ParallelLayout(dp=2, pp=2, tp=2), engine="3d"),
+    "fsdp-hybrid": dict(layout=ParallelLayout(dp=16), engine="fsdp",
+                        num_nodes=2),
+}
+ERRORS = [FailureType.GPU_HARD, FailureType.GPU_STICKY,
+          FailureType.GPU_DRIVER_CORRUPT]
+
+
+def spec_for(name):
+    return make_spec(name=f"MATRIX-{name}", minibatch_time=0.05,
+                     **LAYOUTS[name])
+
+
+_baseline_cache: dict[str, list] = {}
+
+
+def reference(spec):
+    if spec.name not in _baseline_cache:
+        _baseline_cache[spec.name] = TrainingJob(spec).run_training(ITERS)
+    return _baseline_cache[spec.name]
+
+
+@pytest.mark.parametrize("layout_name", list(LAYOUTS))
+@pytest.mark.parametrize("failure_type", ERRORS)
+def test_user_level_matrix(layout_name, failure_type):
+    spec = spec_for(layout_name)
+    baseline = max(reference(spec), key=len)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(env, spec, store, target_iterations=ITERS,
+                                progress_timeout=30.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    armed = {"done": False}
+    original = runner._on_generation_start
+
+    def hook(generation, job, workers):
+        original(generation, job, workers)
+        if not armed["done"]:
+            armed["done"] = True
+            injector.arm_at_iteration(
+                FailureEvent(0.0, failure_type, "node0/gpu1"),
+                job.engines, FAIL_ITER)
+
+    runner._on_generation_start = hook
+    report = runner.execute()
+    assert report.completed
+    assert report.restarts >= 1
+    assert report.final_losses == baseline
+
+
+@pytest.mark.parametrize("layout_name", list(LAYOUTS))
+@pytest.mark.parametrize("failure_type", ERRORS)
+def test_transparent_matrix(layout_name, failure_type):
+    spec = spec_for(layout_name)
+    baseline = reference(spec)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, failure_type, "node0/gpu1"),
+        job.engines, FAIL_ITER)
+    losses = system.run_training(job, ITERS)
+    assert losses == baseline
+    expected_kind = ("hard" if failure_type is FailureType.GPU_HARD
+                     else "transient")
+    assert system.telemetry.by_kind(expected_kind)

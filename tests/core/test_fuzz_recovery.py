@@ -1,0 +1,105 @@
+"""Property-based fuzzing of recovery: random failures, exact semantics.
+
+Hypothesis draws (failure type, iteration, sub-minibatch offset) and the
+transparent system must always produce the failure-free loss stream,
+bitwise.  This is the strongest form of the paper's Section 6.2 claim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import JitConfig, TransparentJitSystem, UserLevelJitRunner
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+ITERS = 12
+_SPEC = make_spec(layout=ParallelLayout(dp=4), minibatch_time=0.05)
+_BASELINE = TrainingJob(_SPEC).run_training(ITERS)
+
+ERRORS = [FailureType.GPU_HARD, FailureType.GPU_STICKY,
+          FailureType.GPU_DRIVER_CORRUPT]
+
+
+@given(failure=st.sampled_from(ERRORS),
+       # Bounded so the failure always lands before the final minibatch
+       # completes (otherwise there is legitimately nothing to recover).
+       iteration=st.integers(2, ITERS - 3),
+       offset=st.floats(0.0, 0.1),
+       gpu=st.integers(0, 3),
+       validate=st.booleans())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_transparent_recovery_exact_under_random_failures(
+        failure, iteration, offset, gpu, validate):
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    config = JitConfig() if validate else JitConfig(
+        validation_start_iteration=10**9)
+    system = TransparentJitSystem(env, _SPEC, store=store, config=config)
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, failure, f"node0/gpu{gpu}"),
+        job.engines, iteration, offset=float(offset))
+    losses = system.run_training(job, ITERS)
+    assert losses == _BASELINE
+    assert system.telemetry.records, "a recovery episode must have run"
+
+
+@given(failure=st.sampled_from(ERRORS),
+       iteration=st.integers(2, ITERS - 2),
+       gpu=st.integers(0, 3))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_user_level_recovery_exact_under_random_failures(
+        failure, iteration, gpu):
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(env, _SPEC, store, target_iterations=ITERS,
+                                progress_timeout=20.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    armed = {"done": False}
+    original = runner._on_generation_start
+
+    def hook(generation, job, workers):
+        original(generation, job, workers)
+        if not armed["done"]:
+            armed["done"] = True
+            injector.arm_at_iteration(
+                FailureEvent(0.0, failure, f"node0/gpu{gpu}"),
+                job.engines, iteration)
+
+    runner._on_generation_start = hook
+    report = runner.execute()
+    assert report.completed
+    assert report.final_losses == _BASELINE[0]
+
+
+def test_campaigns_are_deterministic_per_seed():
+    """Two identical campaigns produce identical reports, event for event."""
+    from repro.failures import PoissonSchedule
+
+    def run():
+        env = Environment()
+        store = SharedObjectStore(env, bandwidth=1.5e9)
+        runner = UserLevelJitRunner(env, _SPEC, store,
+                                    target_iterations=60,
+                                    progress_timeout=20.0)
+        schedule = PoissonSchedule(
+            runner.manager.cluster, 1.0 / 100.0, horizon=500.0, seed=5,
+            type_mix=((FailureType.GPU_HARD, 0.5),
+                      (FailureType.GPU_STICKY, 0.5)))
+        FailureInjector(env, runner.manager.cluster).arm(schedule)
+        report = runner.execute()
+        return (report.total_time, report.restarts, report.final_losses,
+                [(g.outcome, g.start_time, g.end_time)
+                 for g in report.generations])
+
+    assert run() == run()

@@ -1,0 +1,101 @@
+"""Negative paths: configurations where JIT checkpointing cannot help.
+
+The paper is explicit about these: "ZeRO without replicas prevents
+JIT-checkpointing benefits, and periodic checkpointing could be used"
+(Section 7); single-replica jobs need the periodic fallback; and the
+scheduler times out waiting for acknowledgements when no replica can
+cover a shard (Section 3.3's wait has a deadline in our implementation).
+"""
+
+import pytest
+
+from repro.core import JitConfig, TransparentJitSystem, UserLevelJitRunner
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+
+def test_fsdp_full_sharding_has_no_replicas_for_transparent_recovery():
+    """ZeRO-style full sharding: every rank holds a distinct shard, so a
+    sticky failure leaves no donor and transparent recovery must fail
+    loudly rather than corrupt state."""
+    spec = make_spec(layout=ParallelLayout(dp=8), engine="fsdp",
+                     fsdp_hybrid=False, minibatch_time=0.05)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.GPU_STICKY, "node0/gpu2"),
+        job.engines, 5)
+    with pytest.raises(RuntimeError, match="no healthy data-parallel replica"):
+        system.run_training(job, 20)
+
+
+def test_fsdp_hybrid_sharding_does_have_replicas():
+    """The contrast the paper draws: hybrid sharding replicates shards
+    across nodes, re-enabling JIT recovery."""
+    spec = make_spec(layout=ParallelLayout(dp=16), engine="fsdp",
+                     num_nodes=2, fsdp_hybrid=True, minibatch_time=0.05)
+    baseline = TrainingJob(spec).run_training(20)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.GPU_STICKY, "node0/gpu2"),
+        job.engines, 5)
+    losses = system.run_training(job, 20)
+    assert losses == baseline
+
+
+def test_user_level_dp1_falls_back_to_scratch_restart():
+    """A single-replica job: nobody can JIT-checkpoint when the only GPU
+    dies, so the scheduler's ack wait times out and the job restarts from
+    iteration 0 — still completing, still exact."""
+    spec = make_spec(layout=ParallelLayout(dp=1), minibatch_time=0.05)
+    baseline = TrainingJob(spec).run_training(30)[0]
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(
+        env, spec, store, target_iterations=30,
+        config=JitConfig(checkpoint_wait_timeout=5.0),
+        progress_timeout=10.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    injector.arm([FailureEvent(8.0, FailureType.GPU_HARD, "node0/gpu0")])
+    report = runner.execute()
+    assert report.completed
+    assert report.restarts >= 1
+    # No JIT checkpoint could be taken (no replica, and the failed GPU's
+    # memory is gone).
+    assert runner.coordinator.checkpoint_keys == []
+    assert runner.manager.current_workers[0].engine.restored_at == 0
+    assert report.final_losses == baseline
+
+
+def test_ack_wait_timeout_bounds_restart_delay():
+    """The Section 3.3 ack wait must not block a restart forever when a
+    shard cannot be covered."""
+    spec = make_spec(layout=ParallelLayout(dp=1), minibatch_time=0.05)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(
+        env, spec, store, target_iterations=30,
+        config=JitConfig(checkpoint_wait_timeout=4.0),
+        progress_timeout=8.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    injector.arm([FailureEvent(8.0, FailureType.GPU_HARD, "node0/gpu0")])
+    report = runner.execute()
+    gen0, gen1 = report.generations[0], report.generations[1]
+    # Restart began within ~ack-timeout of the failure generation ending.
+    assert gen1.start_time - gen0.end_time <= 4.0 + 1.0

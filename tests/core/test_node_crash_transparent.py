@@ -1,0 +1,62 @@
+"""Transparent recovery from a whole-node crash (multi-node jobs).
+
+The hard-error path must migrate *every* rank of the dead node to
+replacement GPUs (spare node), restore their state from replicas on the
+surviving node, and resume exactly.
+"""
+
+import pytest
+
+from repro.core import JitConfig, TransparentJitSystem
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+ITERS = 16
+
+
+def test_node_crash_migrates_all_its_ranks():
+    spec = make_spec(layout=ParallelLayout(dp=12), num_nodes=2,
+                     global_batch=24, minibatch_time=0.05)
+    baseline = TrainingJob(spec).run_training(ITERS)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job(spare_nodes=2)
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.NODE_CRASH, "node0"),
+        job.engines, 6)
+    losses = system.run_training(job, ITERS)
+    assert losses == baseline
+    record = system.telemetry.by_kind("hard")[0]
+    assert len(record.notes["failed_ranks"]) == 8   # all of node0's ranks
+    # Every migrated rank now runs on a live, healthy GPU off node0.
+    for rank in record.notes["failed_ranks"]:
+        gpu = system.proxies[rank].ctx.gpu
+        assert gpu.is_usable
+        assert not gpu.gpu_id.startswith("node0/")
+
+
+def test_node_crash_without_cross_node_replicas_fails_loudly():
+    """If the crash takes out every replica (single-node job), the hard
+    path cannot source state and must raise, not corrupt."""
+    spec = make_spec(layout=ParallelLayout(dp=4), minibatch_time=0.05)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job(spare_nodes=2)
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.NODE_CRASH, "node0"),
+        job.engines, 6)
+    with pytest.raises(RuntimeError, match="every replica lost"):
+        system.run_training(job, ITERS)

@@ -1,0 +1,114 @@
+"""End-to-end tests for the periodic checkpointing baselines."""
+
+import pytest
+
+from repro.core.periodic import (
+    CheckpointMode,
+    PeriodicPolicy,
+    PeriodicRunner,
+    critical_path_seconds,
+)
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+TARGET_ITERS = 40
+
+
+def ddp_spec(**kwargs):
+    return make_spec(layout=ParallelLayout(dp=4), minibatch_time=0.05,
+                     **kwargs)
+
+
+def run_periodic(spec, failures, policy=None, iters=TARGET_ITERS):
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = PeriodicRunner(
+        env, spec, store, target_iterations=iters,
+        policy=policy or PeriodicPolicy(CheckpointMode.PC_MEM,
+                                        interval_iterations=10),
+        progress_timeout=20.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    injector.arm(failures)
+    report = runner.execute()
+    return runner, report
+
+
+def test_completes_and_checkpoints_on_interval():
+    spec = ddp_spec()
+    runner, report = run_periodic(spec, failures=[])
+    assert report.completed
+    # Iterations 10, 20, 30 checkpointed (only the writer rank).
+    assert runner.checkpoints_taken == 3
+
+
+def test_only_writer_rank_checkpoints():
+    spec = ddp_spec()
+    runner, report = run_periodic(spec, failures=[])
+    active = [c for c in runner.checkpointers if c.checkpoints_taken]
+    assert len(active) == 1
+
+
+def test_failure_redoes_work_since_last_checkpoint():
+    spec = ddp_spec()
+    baseline = TrainingJob(spec).run_training(TARGET_ITERS)
+    failure = FailureEvent(10.0, FailureType.GPU_HARD, "node0/gpu1")
+    runner, report = run_periodic(spec, [failure])
+    assert report.completed
+    assert report.restarts >= 1
+    # Recovered from an older checkpoint: the resumed generation's first
+    # iteration is a multiple of the interval, behind the failure point.
+    gen1 = report.generations[1]
+    resumed_engine_start = report.generations[0].iterations_at_end
+    assert gen1.iterations_at_end >= resumed_engine_start
+    # Semantics still exact (recomputation is deterministic).
+    assert report.final_losses == baseline[0]
+
+
+def test_failure_before_first_checkpoint_restarts_from_scratch():
+    spec = ddp_spec()
+    failure = FailureEvent(8.8, FailureType.GPU_HARD, "node0/gpu1")
+    runner, report = run_periodic(
+        spec, [failure],
+        policy=PeriodicPolicy(CheckpointMode.PC_MEM, interval_iterations=1000))
+    assert report.completed
+    assert report.restarts >= 1
+    assert report.final_losses == TrainingJob(spec).run_training(TARGET_ITERS)[0]
+
+
+def test_hang_detected_by_progress_timeout():
+    spec = ddp_spec()
+    failure = FailureEvent(10.0, FailureType.NETWORK_TRANSIENT, "node0",
+                           duration=300.0)
+    # Single-node job: the uplink does not matter; use a 2-node job.
+    spec = make_spec(layout=ParallelLayout(dp=12), num_nodes=2,
+                     minibatch_time=0.05, global_batch=24)
+    runner, report = run_periodic(spec, [failure], iters=400)
+    gen0 = report.generations[0]
+    assert gen0.outcome == "hang"
+
+
+def test_pc_disk_stalls_longer_than_pc_mem():
+    spec = ddp_spec(model="BERT-L-PT")
+    disk = critical_path_seconds(spec, CheckpointMode.PC_DISK)
+    mem = critical_path_seconds(spec, CheckpointMode.PC_MEM)
+    checkfreq = critical_path_seconds(spec, CheckpointMode.CHECKFREQ)
+    assert disk > mem > checkfreq > 0
+
+
+def test_checkpoint_stall_accounted():
+    spec = ddp_spec(model="BERT-L-PT")
+    runner, report = run_periodic(
+        spec, [], policy=PeriodicPolicy(CheckpointMode.PC_DISK,
+                                        interval_iterations=10))
+    expected = 3 * critical_path_seconds(spec, CheckpointMode.PC_DISK)
+    assert runner.total_checkpoint_stall == pytest.approx(expected, rel=0.2)
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        PeriodicPolicy(CheckpointMode.PC_MEM, interval_iterations=0)

@@ -1,0 +1,258 @@
+"""Unit tests for the device proxy: logging, virtual handles, replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JitConfig
+from repro.core.proxy import DeviceProxyApi
+from repro.core.replay_log import Phase
+from repro.core.telemetry import RecoveryTelemetry
+from repro.cuda import BufferKind, CudaContext
+from repro.cuda.memory import HostBuffer
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Environment
+
+
+class StubCoordinator:
+    """Minimal coordinator double for proxy unit tests."""
+
+    def __init__(self, env):
+        self.env = env
+        self.in_recovery = False
+        self.triggers = []
+        self._done = env.event()
+        self._done.succeed()
+
+    def register(self, proxy):
+        pass
+
+    def trigger(self, reason, rank):
+        self.triggers.append((reason, rank))
+
+    def wait_done(self):
+        return self._done
+
+    def current_comm(self, comm):
+        return comm
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    ctx = CudaContext(env, node.gpus[0], node)
+    coordinator = StubCoordinator(env)
+    proxy = DeviceProxyApi(ctx, rank=0, config=JitConfig(),
+                           coordinator=coordinator)
+    return env, ctx, proxy, coordinator
+
+
+def drain(env, proxy, stream):
+    def waiter():
+        yield from proxy.stream_synchronize(stream)
+
+    env.run(until=env.process(waiter()))
+
+
+def test_handles_are_virtual(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    event = proxy.create_event("e")
+    buf = proxy.malloc(np.zeros(4), BufferKind.PARAM, label="w")
+    assert stream.bound and event.bound and buf.physical is not None
+    assert type(stream).__name__ == "VirtualStream"
+    assert type(event).__name__ == "VirtualEvent"
+    assert type(buf).__name__ == "VirtualBuffer"
+
+
+def test_setup_calls_land_in_creation_log(setup):
+    env, ctx, proxy, _ = setup
+    proxy.create_stream("s")
+    proxy.malloc(np.zeros(4), BufferKind.PARAM, label="w")
+    assert len(proxy.log.creation_records) == 2
+    assert len(proxy.log.records) == 0  # no minibatch yet
+
+
+def test_minibatch_calls_land_in_replay_log_and_clear(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    proxy.minibatch_begin(0)
+    proxy.launch_kernel(stream, "k", 0.01)
+    proxy.malloc(np.zeros(2), BufferKind.ACTIVATION, label="a")
+    assert len(proxy.log.records) == 2
+    proxy.minibatch_end(0)
+    proxy.minibatch_begin(1)
+    assert len(proxy.log.records) == 0
+    assert len(proxy.log.previous_records) == 2
+
+
+def test_phase_tagging(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    proxy.minibatch_begin(0)
+    proxy.launch_kernel(stream, "fwd", 0.0)
+    proxy.optimizer_step_begin(0)
+    proxy.launch_kernel(stream, "opt", 0.0)
+    proxy.optimizer_step_end(0)
+    phases = [r.phase for r in proxy.log.records
+              if r.method == "launch_kernel"]
+    # fwd, opt, plus the injected opt_done_marker.
+    assert phases == [Phase.FORWARD_BACKWARD, Phase.OPTIMIZER,
+                      Phase.OPTIMIZER]
+
+
+def test_opt_done_marker_bumps_completed_steps(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    proxy.minibatch_begin(0)
+    proxy.launch_kernel(stream, "opt", 0.0)
+    proxy.optimizer_step_begin(0)
+    proxy.optimizer_step_end(0)
+    assert proxy.completed_steps == 0  # device hasn't run it yet
+    drain(env, proxy, stream)
+    assert proxy.completed_steps == 1
+
+
+def test_malloc_records_initial_contents_copy(setup):
+    env, ctx, proxy, _ = setup
+    proxy.minibatch_begin(0)
+    buf = proxy.malloc(np.array([1.0, 2.0]), BufferKind.GRADIENT, label="g")
+    buf.array[...] = 99.0  # mutated by later kernels
+    record = proxy.log.records[-1]
+    np.testing.assert_array_equal(record.initial_contents,
+                                  np.array([1.0, 2.0]))
+
+
+def test_replay_reinitialises_and_reexecutes(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    proxy.minibatch_begin(0)
+    buf = proxy.malloc(np.zeros(1), BufferKind.GRADIENT, label="acc")
+    proxy.launch_kernel(stream, "inc", 0.0,
+                        lambda: buf.array.__iadd__(1.0))
+    drain(env, proxy, stream)
+    assert buf.array[0] == 1.0
+    # Replay: re-init to zero, re-run the increment.
+    proxy.replay()
+    drain(env, proxy, stream)
+    assert buf.array[0] == 1.0   # not 2.0: re-initialised then re-run
+
+
+def test_replay_skip_optimizer(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    counter = {"fwd": 0, "opt": 0}
+    proxy.minibatch_begin(0)
+    proxy.launch_kernel(stream, "fwd", 0.0,
+                        lambda: counter.__setitem__("fwd", counter["fwd"] + 1))
+    proxy.optimizer_step_begin(0)
+    proxy.launch_kernel(stream, "opt", 0.0,
+                        lambda: counter.__setitem__("opt", counter["opt"] + 1))
+    proxy.optimizer_step_end(0)
+    drain(env, proxy, stream)
+    assert counter == {"fwd": 1, "opt": 1}
+    proxy.replay(skip_optimizer=True)
+    drain(env, proxy, stream)
+    assert counter == {"fwd": 2, "opt": 1}
+
+
+def test_replay_include_previous(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    seen = []
+    proxy.minibatch_begin(0)
+    proxy.launch_kernel(stream, "a", 0.0, lambda: seen.append("mb0"))
+    proxy.minibatch_begin(1)
+    proxy.launch_kernel(stream, "b", 0.0, lambda: seen.append("mb1"))
+    drain(env, proxy, stream)
+    seen.clear()
+    proxy.replay(include_previous=True)
+    drain(env, proxy, stream)
+    assert seen == ["mb0", "mb1"]
+
+
+def test_enqueue_errors_absorbed_and_reported(setup):
+    from repro.hardware.gpu import GpuHealth
+
+    env, ctx, proxy, coordinator = setup
+    stream = proxy.create_stream("s")
+    proxy.minibatch_begin(0)
+    ctx.gpu.fail(GpuHealth.STICKY_ERROR)
+    result = proxy.launch_kernel(stream, "k", 0.01)   # must not raise
+    assert result is None
+    assert coordinator.triggers
+    assert len(proxy.log.records) == 1  # still logged for replay
+
+
+def test_reset_nonpersistent_frees_only_scratch(setup):
+    env, ctx, proxy, _ = setup
+    param = proxy.malloc(np.zeros(2), BufferKind.PARAM, label="w")
+    opt = proxy.malloc(np.zeros(2), BufferKind.OPTIMIZER_STATE, label="m")
+    proxy.minibatch_begin(0)
+    act = proxy.malloc(np.zeros(2), BufferKind.ACTIVATION, label="a")
+    grad = proxy.malloc(np.zeros(2), BufferKind.GRADIENT, label="g")
+    freed = proxy.reset_nonpersistent_buffers()
+    assert freed == 2
+    assert param.physical is not None and opt.physical is not None
+    assert act.physical is None and grad.physical is None
+
+
+def test_restart_proxy_rebinds_same_arrays(setup):
+    env, ctx, proxy, _ = setup
+    buf = proxy.malloc(np.array([3.0]), BufferKind.PARAM, label="w")
+    original_array = buf.array
+    node = ctx.node
+    new_ctx = CudaContext(env, ctx.gpu, node)
+    proxy.restart_proxy(new_ctx)
+    assert proxy.ctx is new_ctx
+    assert buf.physical is None
+    proxy.rebind_persistent_buffers()
+    assert buf.physical is not None
+    assert buf.array is original_array  # identity preserved: views survive
+
+
+def test_recreate_handles_rebinds_streams_events(setup):
+    env, ctx, proxy, _ = setup
+    stream = proxy.create_stream("s")
+    event = proxy.create_event("e")
+    new_ctx = CudaContext(env, ctx.gpu, ctx.node)
+    proxy.restart_proxy(new_ctx)
+    assert not stream.bound and not event.bound
+    count = proxy.recreate_handles()
+    assert count >= 2
+    assert stream.bound and event.bound
+
+
+def test_allocation_tags_stable_across_ranks(setup):
+    env, ctx, proxy, _ = setup
+    cluster2 = Cluster(Environment(), ClusterSpec(num_nodes=1))
+    env2 = cluster2.env if hasattr(cluster2, "env") else Environment()
+    # Two proxies allocating the same labels produce the same tags.
+    a1 = proxy.malloc(np.zeros(2), BufferKind.PARAM, logical_nbytes=128,
+                      label="layer0.w1")
+    a2 = proxy.malloc(np.zeros(2), BufferKind.PARAM, logical_nbytes=128,
+                      label="layer0.w1")
+    assert a1.allocation_tag == "layer0.w1/0/128"
+    assert a2.allocation_tag == "layer0.w1/1/128"
+
+
+def test_persistent_state_bytes(setup):
+    env, ctx, proxy, _ = setup
+    proxy.malloc(np.zeros(2), BufferKind.PARAM, logical_nbytes=100, label="w")
+    proxy.malloc(np.zeros(2), BufferKind.OPTIMIZER_STATE, logical_nbytes=600,
+                 label="m")
+    proxy.malloc(np.zeros(2), BufferKind.ACTIVATION, logical_nbytes=50,
+                 label="a")
+    assert proxy.persistent_state_bytes() == 700
+
+
+def test_watchdog_watches_only_collective_streams(setup):
+    env, ctx, proxy, _ = setup
+    plain, comm = proxy.create_stream("plain"), proxy.create_stream("comm")
+    comm.saw_collective = True
+    e1, e2 = proxy.create_event(), proxy.create_event()
+    proxy.event_record(e1, plain)
+    assert proxy.watchdog.pending == 0
+    proxy.event_record(e2, comm)
+    assert proxy.watchdog.pending == 1

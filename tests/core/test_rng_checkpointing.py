@@ -1,0 +1,172 @@
+"""RNG-state checkpointing (paper Section 3.2: "random number generator
+state" is part of the CPU state a checkpoint must capture).
+
+With dropout enabled, redoing a minibatch is only exact if the RNG is
+rewound to that minibatch's start: these tests pin the whole chain —
+engine snapshots, checkpoint contents, proxy rewind on replay, and the
+validation path's on-device rewind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import JitConfig, TransparentJitSystem, UserLevelJitRunner
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.framework.rng import TrainingRng, dropout_stream_key
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+ITERS = 14
+
+
+def dropout_spec(**kwargs):
+    return make_spec(layout=ParallelLayout(dp=4), minibatch_time=0.05,
+                     dropout=0.2, **kwargs)
+
+
+# -- TrainingRng unit tests -------------------------------------------------------------
+
+
+def test_rng_state_roundtrip_reproduces_draws():
+    rng = TrainingRng(seed=7, stream_key=3)
+    rng.dropout_mask((4, 4), 0.5)           # advance the stream
+    state = rng.get_state()
+    first = rng.dropout_mask((8,), 0.3)
+    rng.set_state(state)
+    second = rng.dropout_mask((8,), 0.3)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_rng_streams_differ_by_key():
+    a = TrainingRng(seed=7, stream_key=dropout_stream_key(0))
+    b = TrainingRng(seed=7, stream_key=dropout_stream_key(1))
+    assert not np.array_equal(a.dropout_mask((16,), 0.5),
+                              b.dropout_mask((16,), 0.5))
+
+
+def test_dropout_mask_is_inverted_scaling():
+    rng = TrainingRng(seed=1)
+    mask = rng.dropout_mask((10_000,), 0.25)
+    assert set(np.round(np.unique(mask), 6)) <= {0.0, round(1 / 0.75, 6)}
+    assert abs((mask == 0).mean() - 0.25) < 0.03
+    np.testing.assert_array_equal(rng.dropout_mask((5,), 0.0), np.ones(5))
+    with pytest.raises(ValueError):
+        rng.dropout_mask((2,), 1.0)
+
+
+# -- training with dropout -----------------------------------------------------------------
+
+
+def test_dropout_training_is_deterministic_per_seed():
+    spec = dropout_spec()
+    a = TrainingJob(spec).run_training(ITERS)
+    b = TrainingJob(spec).run_training(ITERS)
+    assert a == b
+
+
+def test_dropout_changes_losses_vs_no_dropout():
+    with_dropout = TrainingJob(dropout_spec()).run_training(6)
+    without = TrainingJob(make_spec(layout=ParallelLayout(dp=4),
+                                    minibatch_time=0.05)).run_training(6)
+    assert with_dropout != without
+
+
+def test_checkpoint_carries_rng_state():
+    spec = dropout_spec()
+    job = TrainingJob(spec)
+    job.run_training(5)
+    state = job.engines[0].state_dict()
+    assert state["rng"] is not None
+    # Resume from the checkpoint in a fresh job: identical continuation.
+    job2 = TrainingJob(dropout_spec())
+    for engine, donor in zip(job2.engines, job.engines):
+        engine.load_state_dict(donor.state_dict())
+    continued = job2.run_training(4)
+    reference = TrainingJob(dropout_spec()).run_training(9)
+    for cont, ref in zip(continued, reference):
+        assert cont[5:] == ref[5:]
+
+
+# -- recovery with dropout ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("failure_type", [FailureType.GPU_STICKY,
+                                          FailureType.GPU_HARD])
+def test_user_level_recovery_exact_with_dropout(failure_type):
+    spec = dropout_spec()
+    baseline = TrainingJob(dropout_spec()).run_training(ITERS)[0]
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    runner = UserLevelJitRunner(env, spec, store, target_iterations=ITERS,
+                                progress_timeout=20.0)
+    injector = FailureInjector(env, runner.manager.cluster)
+    armed = {"done": False}
+    original = runner._on_generation_start
+
+    def hook(generation, job, workers):
+        original(generation, job, workers)
+        if not armed["done"]:
+            armed["done"] = True
+            injector.arm_at_iteration(
+                FailureEvent(0.0, failure_type, "node0/gpu1"),
+                job.engines, 6)
+
+    runner._on_generation_start = hook
+    report = runner.execute()
+    assert report.completed
+    assert report.final_losses == baseline
+
+
+@pytest.mark.parametrize("failure_type", [FailureType.GPU_STICKY,
+                                          FailureType.GPU_DRIVER_CORRUPT,
+                                          FailureType.GPU_HARD])
+def test_transparent_recovery_exact_with_dropout(failure_type):
+    spec = dropout_spec()
+    baseline = TrainingJob(dropout_spec()).run_training(ITERS)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(
+        env, spec, store=store,
+        config=JitConfig(validation_start_iteration=10**9))
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, failure_type, "node0/gpu1"), job.engines, 6)
+    losses = system.run_training(job, ITERS)
+    assert losses == baseline
+
+
+def test_validation_passes_with_dropout():
+    """Replay-log validation rewinds the RNG on-device, so the re-executed
+    forward draws identical masks and checksums match."""
+    spec = dropout_spec()
+    env = Environment()
+    system = TransparentJitSystem(
+        env, spec, config=JitConfig(validation_start_iteration=5))
+    job = system.build_job()
+    baseline = TrainingJob(dropout_spec()).run_training(ITERS)
+    losses = system.run_training(job, ITERS)
+    assert losses == baseline       # validation itself changes nothing
+    for proxy in system.proxies:
+        assert proxy.validation_results == [True]
+
+
+def test_failure_during_validation_with_dropout():
+    """The hardest combination: rollback-replay of the previous minibatch
+    with stochastic ops — the previous snapshot must be restored."""
+    spec = dropout_spec()
+    baseline = TrainingJob(dropout_spec()).run_training(ITERS)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(env, spec, store=store, config=JitConfig())
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.GPU_STICKY, "node0/gpu1"),
+        job.engines, 6)
+    losses = system.run_training(job, ITERS)
+    assert losses == baseline

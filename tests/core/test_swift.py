@@ -1,0 +1,127 @@
+"""Tests for the Swift-style invertible-optimizer rollback baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.swift import (
+    InvertibleSgd,
+    rollback_one_version,
+    supports_undo,
+)
+from repro.framework.optim import Adam, Sgd
+
+
+def random_params(rng, n=3):
+    return {f"w{i}": rng.standard_normal(4) for i in range(n)}
+
+
+def test_undo_plain_sgd_is_exact():
+    rng = np.random.default_rng(0)
+    params = random_params(rng)
+    before = {k: v.copy() for k, v in params.items()}
+    opt = InvertibleSgd(params, lr=0.1)
+    opt.step({k: rng.standard_normal(4) for k in params})
+    assert any(not np.array_equal(params[k], before[k]) for k in params)
+    opt.undo_last_step()
+    for k in params:
+        # (p - lr*g) + lr*g can differ from p by one ulp.
+        np.testing.assert_allclose(params[k], before[k], atol=1e-12)
+    assert opt.step_count == 0
+
+
+def test_undo_momentum_sgd_is_exact():
+    rng = np.random.default_rng(1)
+    params = random_params(rng)
+    opt = InvertibleSgd(params, lr=0.05, momentum=0.9)
+    # Build up momentum state first.
+    for _ in range(3):
+        opt.step({k: rng.standard_normal(4) for k in params})
+    before_params = {k: v.copy() for k, v in params.items()}
+    before_velocity = {k: v.copy() for k, v in opt.velocity.items()}
+    opt.step({k: rng.standard_normal(4) for k in params})
+    opt.undo_last_step()
+    for k in params:
+        np.testing.assert_allclose(params[k], before_params[k], atol=1e-12)
+        np.testing.assert_allclose(opt.velocity[k], before_velocity[k],
+                                   atol=1e-12)
+
+
+def test_double_undo_rejected():
+    rng = np.random.default_rng(2)
+    params = random_params(rng)
+    opt = InvertibleSgd(params, lr=0.1)
+    opt.step({k: np.ones(4) for k in params})
+    opt.undo_last_step()
+    with pytest.raises(RuntimeError):
+        opt.undo_last_step()
+
+
+def test_undo_before_any_step_rejected():
+    opt = InvertibleSgd({"w": np.zeros(2)}, lr=0.1)
+    with pytest.raises(RuntimeError):
+        opt.undo_last_step()
+
+
+def test_rollback_requires_invertible_optimizer():
+    params = {"w": np.zeros(2)}
+    assert supports_undo(InvertibleSgd(params))
+    assert not supports_undo(Adam(params))
+    assert not supports_undo(Sgd(params))
+    with pytest.raises(NotImplementedError):
+        rollback_one_version(Adam({"w": np.zeros(2)}))
+
+
+def test_state_dict_preserves_undo_capability():
+    rng = np.random.default_rng(3)
+    params = random_params(rng)
+    opt = InvertibleSgd(params, lr=0.1, momentum=0.9)
+    opt.step({k: rng.standard_normal(4) for k in params})
+    state = opt.state_dict()
+
+    clone_params = {k: v.copy() for k, v in params.items()}
+    clone = InvertibleSgd(clone_params, lr=0.1, momentum=0.9)
+    clone.load_state_dict(state)
+    assert clone.can_undo
+    clone.undo_last_step()
+    opt.undo_last_step()
+    for k in params:
+        np.testing.assert_array_equal(clone_params[k], params[k])
+
+
+@given(lr=st.floats(1e-4, 1.0), momentum=st.sampled_from([0.0, 0.5, 0.9]),
+       steps=st.integers(1, 5), seed=st.integers(0, 2**31))
+@settings(max_examples=60)
+def test_undo_is_exact_inverse_property(lr, momentum, steps, seed):
+    rng = np.random.default_rng(seed)
+    params = {"w": rng.standard_normal(6)}
+    opt = InvertibleSgd(params, lr=lr, momentum=momentum)
+    for _ in range(steps - 1):
+        opt.step({"w": rng.standard_normal(6)})
+    snapshot = params["w"].copy()
+    snapshot_velocity = (opt.velocity["w"].copy() if momentum else None)
+    opt.step({"w": rng.standard_normal(6)})
+    opt.undo_last_step()
+    np.testing.assert_allclose(params["w"], snapshot, atol=1e-9)
+    if momentum:
+        np.testing.assert_allclose(opt.velocity["w"], snapshot_velocity,
+                                   atol=1e-9)
+
+
+def test_swift_rollback_equivalent_to_replica_copy():
+    """The scenario Swift targets: one rank applied the optimizer step,
+    peers did not.  Undoing the step on the advanced rank yields the same
+    state a replica copy from a non-advanced peer would."""
+    rng = np.random.default_rng(4)
+    shared_grads = {"w": rng.standard_normal(4)}
+    start = {"w": rng.standard_normal(4)}
+
+    advanced = {k: v.copy() for k, v in start.items()}
+    opt_advanced = InvertibleSgd(advanced, lr=0.1, momentum=0.9)
+    opt_advanced.step(shared_grads)
+
+    # Swift path: undo on the advanced rank.
+    rollback_one_version(opt_advanced)
+    # Replica path: the peer never stepped.
+    np.testing.assert_allclose(advanced["w"], start["w"], atol=1e-12)

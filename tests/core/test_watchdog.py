@@ -1,0 +1,113 @@
+"""Unit tests for the hang-detection watchdog."""
+
+import pytest
+
+from repro.core.watchdog import EventWatchdog
+from repro.cuda import CudaContext
+from repro.hardware import Cluster, ClusterSpec, GpuHealth
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    ctx = CudaContext(env, node.gpus[0], node)
+    return env, ctx
+
+
+def make_watchdog(env, ctx, fired, timeout=2.0):
+    return EventWatchdog(env, query=ctx.event_query,
+                         on_hang=lambda wd, we: fired.append(env.now),
+                         timeout=timeout, poll_interval=0.1)
+
+
+def test_completed_events_do_not_fire(setup):
+    env, ctx = setup
+    fired = []
+    watchdog = make_watchdog(env, ctx, fired)
+    stream = ctx.create_stream()
+    event = ctx.create_event()
+    ctx.launch_kernel(stream, "k", duration=0.5)
+    ctx.event_record(event, stream)
+    watchdog.watch(event)
+    env.run(until=10)
+    assert fired == []
+    assert watchdog.pending == 0
+
+
+def test_hung_event_fires_after_timeout(setup):
+    env, ctx = setup
+    fired = []
+    watchdog = make_watchdog(env, ctx, fired, timeout=2.0)
+    stream = ctx.create_stream()
+    event = ctx.create_event()
+    ctx.launch_kernel(stream, "never", duration=1e9)
+    ctx.event_record(event, stream)
+    watchdog.watch(event)
+    env.run(until=10)
+    assert len(fired) == 1
+    assert 2.0 <= fired[0] <= 2.3  # timeout plus at most a poll or two
+    assert watchdog.fired
+
+
+def test_sticky_context_counts_as_hang(setup):
+    env, ctx = setup
+    fired = []
+    watchdog = make_watchdog(env, ctx, fired, timeout=5.0)
+    stream = ctx.create_stream()
+    event = ctx.create_event()
+    ctx.launch_kernel(stream, "k", duration=100.0)
+    ctx.event_record(event, stream)
+    watchdog.watch(event)
+
+    def failer():
+        yield env.timeout(1.0)
+        ctx.gpu.fail(GpuHealth.STICKY_ERROR)
+
+    env.process(failer())
+    env.run(until=10)
+    # Error detected well before the 5s hang timeout.
+    assert fired and fired[0] < 2.0
+
+
+def test_stop_prevents_firing(setup):
+    env, ctx = setup
+    fired = []
+    watchdog = make_watchdog(env, ctx, fired, timeout=1.0)
+    stream = ctx.create_stream()
+    event = ctx.create_event()
+    ctx.launch_kernel(stream, "never", duration=1e9)
+    ctx.event_record(event, stream)
+    watchdog.watch(event)
+
+    def stopper():
+        yield env.timeout(0.5)
+        watchdog.stop()
+
+    env.process(stopper())
+    env.run(until=10)
+    assert fired == []
+
+
+def test_watch_after_stop_is_ignored(setup):
+    env, ctx = setup
+    watchdog = make_watchdog(env, ctx, [], timeout=1.0)
+    watchdog.stop()
+    watchdog.watch(ctx.create_event())
+    assert watchdog.pending == 0
+
+
+def test_fires_once_then_stops(setup):
+    env, ctx = setup
+    fired = []
+    watchdog = make_watchdog(env, ctx, fired, timeout=1.0)
+    stream = ctx.create_stream()
+    for _ in range(3):
+        event = ctx.create_event()
+        ctx.launch_kernel(stream, "never", duration=1e9)
+        ctx.event_record(event, stream)
+        watchdog.watch(event)
+    env.run(until=10)
+    assert len(fired) == 1

@@ -1,0 +1,242 @@
+"""Unit tests for the simulated CUDA runtime: streams, events, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import BufferKind, CudaApiError, CudaContext, CudaError
+from repro.cuda.memory import HostBuffer
+from repro.hardware import Cluster, ClusterSpec, GpuHealth
+from repro.sim import Environment
+
+
+@pytest.fixture
+def ctx():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    return CudaContext(env, node.gpus[0], node)
+
+
+def run(env, gen, name="test"):
+    return env.run(until=env.process(gen, name=name))
+
+
+def test_kernels_execute_in_fifo_order(ctx):
+    stream = ctx.create_stream()
+    executed = []
+    for i in range(5):
+        ctx.launch_kernel(stream, f"k{i}", duration=0.1,
+                          thunk=lambda i=i: executed.append(i))
+
+    def waiter():
+        yield from ctx.stream_synchronize(stream)
+
+    run(ctx.env, waiter())
+    assert executed == [0, 1, 2, 3, 4]
+    assert ctx.env.now == pytest.approx(0.5)
+
+
+def test_streams_run_concurrently(ctx):
+    s1, s2 = ctx.create_stream(), ctx.create_stream()
+    ctx.launch_kernel(s1, "a", duration=1.0)
+    ctx.launch_kernel(s2, "b", duration=1.0)
+
+    def waiter():
+        yield from ctx.device_synchronize()
+
+    run(ctx.env, waiter())
+    assert ctx.env.now == pytest.approx(1.0)  # not 2.0
+
+
+def test_event_record_and_query(ctx):
+    stream = ctx.create_stream()
+    event = ctx.create_event()
+    ctx.launch_kernel(stream, "k", duration=2.0)
+    ctx.event_record(event, stream)
+    assert ctx.event_query(event) is CudaError.NOT_READY
+
+    def waiter():
+        yield from ctx.event_synchronize(event)
+
+    run(ctx.env, waiter())
+    assert ctx.event_query(event) is CudaError.SUCCESS
+    assert event.trigger_time == pytest.approx(2.0)
+
+
+def test_stream_wait_event_orders_across_streams(ctx):
+    """Figure 3 pattern: compute stream waits on comm-stream event."""
+    compute, comm = ctx.create_stream("compute"), ctx.create_stream("comm")
+    order = []
+    ctx.launch_kernel(comm, "allreduce", duration=3.0,
+                      thunk=lambda: order.append("allreduce"))
+    event = ctx.create_event()
+    ctx.event_record(event, comm)
+    ctx.stream_wait_event(compute, event)
+    ctx.launch_kernel(compute, "optimizer", duration=0.5,
+                      thunk=lambda: order.append("optimizer"))
+
+    def waiter():
+        yield from ctx.stream_synchronize(compute)
+
+    run(ctx.env, waiter())
+    assert order == ["allreduce", "optimizer"]
+    assert ctx.env.now == pytest.approx(3.5)
+
+
+def test_query_never_recorded_event_is_success(ctx):
+    event = ctx.create_event()
+    assert ctx.event_query(event) is CudaError.SUCCESS
+
+
+def test_memcpy_roundtrip_moves_data(ctx):
+    data = np.arange(8, dtype=np.float64)
+    buf = ctx.malloc(data.copy(), BufferKind.PARAM, label="w")
+    host = HostBuffer(np.zeros(8), label="stage")
+    ctx.memcpy_d2h_async(host, buf)
+
+    def waiter():
+        yield from ctx.stream_synchronize()
+
+    run(ctx.env, waiter())
+    np.testing.assert_array_equal(host.array, data)
+
+    host.array[...] = 99.0
+    ctx.memcpy_h2d_async(buf, host)
+    run(ctx.env, waiter())
+    assert (buf.array == 99.0).all()
+
+
+def test_memcpy_duration_follows_pcie_bandwidth(ctx):
+    nbytes = int(ctx.gpu.spec.pcie_bandwidth)  # exactly one second of copy
+    buf = ctx.malloc(np.zeros(4), BufferKind.PARAM, logical_nbytes=nbytes)
+    host = HostBuffer(np.zeros(4), logical_nbytes=nbytes)
+    ctx.memcpy_d2h_async(host, buf)
+
+    def waiter():
+        yield from ctx.stream_synchronize()
+
+    run(ctx.env, waiter())
+    assert ctx.env.now == pytest.approx(1.0)
+
+
+def test_same_gpu_copies_serialize_on_pcie(ctx):
+    nbytes = int(ctx.gpu.spec.pcie_bandwidth)
+    s1, s2 = ctx.create_stream(), ctx.create_stream()
+    b1 = ctx.malloc(np.zeros(2), BufferKind.PARAM, logical_nbytes=nbytes)
+    b2 = ctx.malloc(np.zeros(2), BufferKind.PARAM, logical_nbytes=nbytes)
+    host1, host2 = HostBuffer(np.zeros(2), logical_nbytes=nbytes), \
+        HostBuffer(np.zeros(2), logical_nbytes=nbytes)
+    ctx.memcpy_d2h_async(host1, b1, stream=s1)
+    ctx.memcpy_d2h_async(host2, b2, stream=s2)
+
+    def waiter():
+        yield from ctx.device_synchronize()
+
+    run(ctx.env, waiter())
+    assert ctx.env.now == pytest.approx(2.0)  # serialized on one PCIe slot
+
+
+def test_logical_bytes_drive_memory_accounting(ctx):
+    before = ctx.gpu.allocated_bytes
+    buf = ctx.malloc(np.zeros(4), BufferKind.ACTIVATION, logical_nbytes=10_000)
+    assert ctx.gpu.allocated_bytes == before + 10_000
+    ctx.free(buf)
+    assert ctx.gpu.allocated_bytes == before
+    ctx.free(buf)  # double free is a no-op
+    assert ctx.gpu.allocated_bytes == before
+
+
+def test_kernel_on_dead_gpu_hangs_not_errors(ctx):
+    stream = ctx.create_stream()
+    ctx.launch_kernel(stream, "k", duration=10.0)
+    ctx.gpu.fail(GpuHealth.DEAD)
+    marker = stream.sync_marker()
+    ctx.env.run(until=100)
+    assert not marker.triggered  # hung forever, no error surfaced
+
+
+def test_api_calls_on_dead_gpu_raise(ctx):
+    ctx.gpu.fail(GpuHealth.DEAD)
+    with pytest.raises(CudaApiError) as excinfo:
+        ctx.launch_kernel(ctx.default_stream, "k", duration=1.0)
+    assert excinfo.value.code is CudaError.DEVICE_LOST
+
+
+def test_sticky_error_poisons_all_subsequent_calls(ctx):
+    ctx.gpu.fail(GpuHealth.STICKY_ERROR)
+    with pytest.raises(CudaApiError):
+        ctx.create_event(), ctx.event_record(ctx.create_event())
+    # Even after the GPU itself recovers, the context stays poisoned,
+    # matching CUDA sticky-error semantics.
+    ctx.gpu.reset_driver()
+    assert ctx.poisoned
+    with pytest.raises(CudaApiError):
+        ctx.launch_kernel(ctx.default_stream, "k", duration=0.1)
+
+
+def test_stream_abort_fails_pending_waiters(ctx):
+    stream = ctx.create_stream()
+    ctx.launch_kernel(stream, "never", duration=1e9)
+    caught = []
+
+    def waiter():
+        try:
+            yield from ctx.stream_synchronize(stream)
+        except CudaApiError as exc:
+            caught.append(exc.code)
+
+    def aborter():
+        yield ctx.env.timeout(1.0)
+        stream.abort()
+
+    ctx.env.process(waiter())
+    proc = ctx.env.process(aborter())
+    ctx.env.run(until=proc)
+    ctx.env.run(until=2.0)
+    assert caught == [CudaError.STICKY]
+
+
+def test_rescue_copy_works_on_driver_corrupt_gpu(ctx):
+    data = np.arange(4, dtype=np.float64)
+    buf = ctx.malloc(data.copy(), BufferKind.PARAM)
+    ctx.gpu.fail(GpuHealth.DRIVER_CORRUPT)
+    array, duration = ctx.rescue_copy_d2h(buf)
+    np.testing.assert_array_equal(array, data)
+    assert duration > 0
+
+
+def test_rescue_copy_rejected_on_dead_gpu(ctx):
+    buf = ctx.malloc(np.zeros(4), BufferKind.PARAM)
+    ctx.gpu.fail(GpuHealth.DEAD)
+    with pytest.raises(CudaApiError):
+        ctx.rescue_copy_d2h(buf)
+
+
+def test_gpu_failure_mid_kernel_never_completes(ctx):
+    stream = ctx.create_stream()
+    executed = []
+    ctx.launch_kernel(stream, "k", duration=10.0,
+                      thunk=lambda: executed.append(1))
+
+    def failer():
+        yield ctx.env.timeout(5.0)
+        ctx.gpu.fail(GpuHealth.DEAD)
+
+    ctx.env.process(failer())
+    ctx.env.run(until=50)
+    assert executed == []  # thunk never ran: kernel died in flight
+
+
+def test_live_buffers_filter_by_kind(ctx):
+    param = ctx.malloc(np.zeros(2), BufferKind.PARAM)
+    act = ctx.malloc(np.zeros(2), BufferKind.ACTIVATION)
+    assert param in ctx.live_buffers(BufferKind.PARAM)
+    assert act not in ctx.live_buffers(BufferKind.PARAM)
+    assert len(ctx.live_buffers()) == 2
+
+
+def test_buffer_kind_reset_survival():
+    assert BufferKind.PARAM.survives_reset
+    assert BufferKind.OPTIMIZER_STATE.survives_reset
+    assert not BufferKind.ACTIVATION.survives_reset
+    assert not BufferKind.GRADIENT.survives_reset

@@ -1,0 +1,115 @@
+"""Unit tests for failure scheduling and injection."""
+
+import pytest
+
+from repro.failures import (
+    DeterministicSchedule,
+    FailureEvent,
+    FailureInjector,
+    FailureType,
+    PoissonSchedule,
+)
+from repro.hardware import Cluster, ClusterSpec, GpuHealth, LinkHealth
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=2))
+    return env, cluster, FailureInjector(env, cluster)
+
+
+def test_gpu_hard_failure_at_time(setup):
+    env, cluster, injector = setup
+    injector.arm([FailureEvent(5.0, FailureType.GPU_HARD, "node0/gpu1")])
+    env.run(until=4.9)
+    assert cluster.gpu_by_id("node0/gpu1").health is GpuHealth.HEALTHY
+    env.run(until=5.1)
+    assert cluster.gpu_by_id("node0/gpu1").health is GpuHealth.DEAD
+
+
+def test_sticky_and_driver_corrupt(setup):
+    env, cluster, injector = setup
+    injector.arm([
+        FailureEvent(1.0, FailureType.GPU_STICKY, "node0/gpu0"),
+        FailureEvent(2.0, FailureType.GPU_DRIVER_CORRUPT, "node1/gpu0"),
+    ])
+    env.run()
+    assert cluster.gpu_by_id("node0/gpu0").health is GpuHealth.STICKY_ERROR
+    assert cluster.gpu_by_id("node1/gpu0").health is GpuHealth.DRIVER_CORRUPT
+
+
+def test_transient_link_auto_repairs(setup):
+    env, cluster, injector = setup
+    injector.arm([FailureEvent(1.0, FailureType.NETWORK_TRANSIENT, "node0",
+                               duration=10.0)])
+    env.run(until=5)
+    assert cluster.fabric.uplink("node0").health is LinkHealth.DEGRADED
+    env.run(until=12)
+    assert cluster.fabric.uplink("node0").is_up
+
+
+def test_node_crash_kills_all_gpus(setup):
+    env, cluster, injector = setup
+    injector.arm([FailureEvent(3.0, FailureType.NODE_CRASH, "node1")])
+    env.run()
+    assert all(g.health is GpuHealth.DEAD for g in cluster.nodes[1].gpus)
+
+
+def test_unknown_target_is_skipped_not_fatal(setup):
+    """Campaign schedules can outlive node replacements: a failure aimed
+    at retired hardware is recorded as skipped, not raised."""
+    env, cluster, injector = setup
+    injector.apply(FailureEvent(0.0, FailureType.NODE_CRASH, "nope"))
+    injector.apply(FailureEvent(0.0, FailureType.GPU_HARD, "node9/gpu0"))
+    assert len(injector.skipped) == 2
+    assert injector.injected == []
+
+
+def test_deterministic_schedule_iterates_in_order():
+    events = [FailureEvent(2.0, FailureType.GPU_HARD, "a"),
+              FailureEvent(1.0, FailureType.GPU_STICKY, "b")]
+    assert list(DeterministicSchedule(events)) == events
+
+
+def test_poisson_schedule_rate_scales_with_gpus():
+    env = Environment()
+    small = Cluster(env, ClusterSpec(num_nodes=1))
+    large = Cluster(env, ClusterSpec(num_nodes=4))
+    rate = 1.0 / (24 * 3600)  # 1 failure per GPU-day
+    horizon = 30 * 24 * 3600.0
+    n_small = len(PoissonSchedule(small, rate, horizon, seed=3).events())
+    n_large = len(PoissonSchedule(large, rate, horizon, seed=3).events())
+    # 4x the GPUs -> ~4x the failures.
+    assert n_large > 2.5 * n_small
+
+
+def test_poisson_schedule_deterministic_per_seed():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    sched = PoissonSchedule(cluster, 1e-4, 1e5, seed=11)
+    assert sched.events() == sched.events()
+
+
+def test_poisson_respects_horizon():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    events = PoissonSchedule(cluster, 1e-3, 5000.0, seed=1).events()
+    assert events
+    assert all(e.time < 5000.0 for e in events)
+
+
+def test_failure_event_describe():
+    event = FailureEvent(1.5, FailureType.NETWORK_TRANSIENT, "node0",
+                         duration=30.0)
+    text = event.describe()
+    assert "network_transient" in text and "node0" in text
+
+
+def test_gpu_state_accessibility_classification():
+    assert FailureType.GPU_DRIVER_CORRUPT.gpu_state_accessible
+    assert not FailureType.GPU_STICKY.gpu_state_accessible
+    assert not FailureType.GPU_HARD.gpu_state_accessible
+    assert FailureType.GPU_HARD.is_hard
+    assert not FailureType.GPU_STICKY.is_hard

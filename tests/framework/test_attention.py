@@ -1,0 +1,139 @@
+"""Attention block: numeric gradients, TP exactness, sample independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.attention import AttentionBlockParams
+
+RNG = np.random.default_rng(21)
+D_MODEL, N_HEADS, SEQ = 16, 4, 2
+
+
+def make_block(seed=5, tp_rank=0, tp_world=1):
+    rng = np.random.Generator(np.random.Philox(key=seed, counter=0))
+    return AttentionBlockParams.init_params(rng, D_MODEL, N_HEADS,
+                                            seq_len=SEQ, tp_rank=tp_rank,
+                                            tp_world=tp_world)
+
+
+def numerical_grad(fn, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat_x, flat_g = array.reshape(-1), grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        up = fn()
+        flat_x[i] = original - eps
+        down = fn()
+        flat_x[i] = original
+        flat_g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def test_forward_output_shape_and_residual():
+    block = make_block()
+    x = RNG.standard_normal((5, D_MODEL))
+    y, cache = block.forward(x)
+    assert y.shape == x.shape
+    # With zero projections the block must be the identity (residual).
+    zero = make_block()
+    for name in ("wq", "wk", "wv", "wo"):
+        getattr(zero, name)[...] = 0.0
+    y0, _ = zero.forward(x)
+    np.testing.assert_allclose(y0, x, atol=1e-12)
+
+
+def test_backward_matches_numeric_gradients():
+    block = make_block()
+    x = RNG.standard_normal((3, D_MODEL))
+    dy = RNG.standard_normal((3, D_MODEL))
+
+    def scalar_loss():
+        y, _ = block.forward(x)
+        return float((y * dy).sum())
+
+    _, cache = block.forward(x)
+    dx, grads = block.backward_full(dy, cache)
+
+    np.testing.assert_allclose(dx, numerical_grad(scalar_loss, x), atol=1e-4)
+    for name in block.names():
+        np.testing.assert_allclose(
+            grads[name], numerical_grad(scalar_loss, getattr(block, name)),
+            atol=1e-4, err_msg=name)
+
+
+def test_samples_are_independent():
+    """Attention runs within each sample: changing sample j must not
+    change sample i's output (the property data parallelism needs)."""
+    block = make_block()
+    x = RNG.standard_normal((4, D_MODEL))
+    y, _ = block.forward(x)
+    perturbed = x.copy()
+    perturbed[3] += 10.0
+    y2, _ = block.forward(perturbed)
+    np.testing.assert_array_equal(y[:3], y2[:3])
+    assert not np.allclose(y[3], y2[3])
+
+
+@pytest.mark.parametrize("tp_world", [2, 4])
+def test_tensor_parallel_forward_equals_unsharded(tp_world):
+    full = make_block()
+    shards = [make_block(tp_rank=r, tp_world=tp_world)
+              for r in range(tp_world)]
+    x = RNG.standard_normal((4, D_MODEL))
+    y_full, _ = full.forward(x)
+    partials = [s.forward_partial(x)[0] for s in shards]
+    y_tp = shards[0].finish_forward(x, np.sum(partials, axis=0))
+    np.testing.assert_allclose(y_tp, y_full, atol=1e-12)
+
+
+@pytest.mark.parametrize("tp_world", [2, 4])
+def test_tensor_parallel_backward_equals_unsharded(tp_world):
+    full = make_block()
+    shards = [make_block(tp_rank=r, tp_world=tp_world)
+              for r in range(tp_world)]
+    x = RNG.standard_normal((4, D_MODEL))
+    dy = RNG.standard_normal((4, D_MODEL))
+
+    _, cache_full = full.forward(x)
+    dx_full, grads_full = full.backward_full(dy, cache_full)
+
+    caches = [s.forward_partial(x)[1] for s in shards]
+    results = [s.backward(dy, c) for s, c in zip(shards, caches)]
+    dx_tp = np.sum([r[0] for r in results], axis=0) + dy
+    np.testing.assert_allclose(dx_tp, dx_full, atol=1e-12)
+
+    # Column-sharded projections concatenate along columns; wo by rows.
+    for name in ("wq", "wk", "wv"):
+        stacked = np.concatenate([r[1][name] for r in results], axis=1)
+        np.testing.assert_allclose(stacked, grads_full[name], atol=1e-12,
+                                   err_msg=name)
+    wo_tp = np.concatenate([r[1]["wo"] for r in results], axis=0)
+    np.testing.assert_allclose(wo_tp, grads_full["wo"], atol=1e-12)
+    # bo is replicated: every shard computes the identical full gradient.
+    for r in results:
+        np.testing.assert_allclose(r[1]["bo"], grads_full["bo"], atol=1e-12)
+
+
+def test_init_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="seq_len"):
+        AttentionBlockParams.init_params(rng, 15, 4, seq_len=2)
+    with pytest.raises(ValueError, match="n_heads"):
+        AttentionBlockParams.init_params(rng, 16, 3, seq_len=2)
+    with pytest.raises(ValueError, match="tp"):
+        AttentionBlockParams.init_params(rng, 16, 4, seq_len=2, tp_world=3)
+
+
+@given(batch=st.integers(1, 6), seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_softmax_rows_are_distributions(batch, seed):
+    block = make_block(seed=seed % 100)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, D_MODEL))
+    _, cache = block.forward(x)
+    attn = cache["attn"]
+    np.testing.assert_allclose(attn.sum(axis=-1), 1.0, atol=1e-12)
+    assert (attn >= 0).all()

@@ -1,0 +1,86 @@
+"""Unit tests for nodes, fabric and cluster topology."""
+
+import pytest
+
+from repro.hardware import Cluster, ClusterSpec, GpuHealth, LinkHealth
+from repro.hardware.specs import A100_NODE, V100_NODE
+from repro.sim import Environment
+
+
+@pytest.fixture
+def cluster():
+    env = Environment()
+    return Cluster(env, ClusterSpec(node_spec=V100_NODE, num_nodes=2, spare_nodes=1))
+
+
+def test_topology_counts(cluster):
+    assert len(cluster.nodes) == 2
+    assert len(cluster.gpus) == 16
+    assert cluster.spares_available == 1
+
+
+def test_gpu_lookup(cluster):
+    gpu = cluster.gpu_by_id("node1/gpu3")
+    assert gpu.gpu_id == "node1/gpu3"
+    assert cluster.node_of(gpu).name == "node1"
+
+
+def test_gpu_lookup_missing(cluster):
+    with pytest.raises(KeyError):
+        cluster.gpu_by_id("node9/gpu0")
+
+
+def test_replace_node_swaps_in_spare(cluster):
+    failed = cluster.nodes[0]
+    replacement = cluster.replace_node(failed)
+    assert replacement.name == "spare0"
+    assert cluster.nodes[0] is replacement
+    assert cluster.spares_available == 0
+
+
+def test_replace_without_spares_raises():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1, spare_nodes=0))
+    with pytest.raises(RuntimeError):
+        cluster.replace_node(cluster.nodes[0])
+
+
+def test_node_kill_marks_gpus_dead(cluster):
+    node = cluster.nodes[0]
+    node.kill()
+    assert not node.alive
+    assert all(gpu.health is GpuHealth.DEAD for gpu in node.gpus)
+
+
+def test_fabric_path_health(cluster):
+    fabric = cluster.fabric
+    assert fabric.path_is_up({"node0", "node1"})
+    fabric.uplink("node0").fail()
+    assert not fabric.path_is_up({"node0", "node1"})
+    # Intra-node paths never touch the fabric.
+    assert fabric.path_is_up({"node0"})
+    fabric.uplink("node0").repair()
+    assert fabric.path_is_up({"node0", "node1"})
+
+
+def test_link_fail_to_up_rejected(cluster):
+    with pytest.raises(ValueError):
+        cluster.fabric.uplink("node0").fail(LinkHealth.UP)
+
+
+def test_bottleneck_bandwidth_single_vs_multi_node(cluster):
+    fabric = cluster.fabric
+    nvlink = V100_NODE.gpu.nvlink_bandwidth
+    assert fabric.bottleneck_bandwidth({"node0"}, nvlink) == nvlink
+    multi = fabric.bottleneck_bandwidth({"node0", "node1"}, nvlink)
+    assert multi == cluster.spec.interconnect.bandwidth
+
+
+def test_node_specs_distinguish_gpu_families():
+    env = Environment()
+    v100_cluster = Cluster(env, ClusterSpec(node_spec=V100_NODE, num_nodes=1))
+    a100_cluster = Cluster(env, ClusterSpec(node_spec=A100_NODE, num_nodes=1))
+    assert len(v100_cluster.nodes[0].gpus) == 8
+    assert len(a100_cluster.nodes[0].gpus) == 4
+    assert (a100_cluster.gpus[0].spec.pcie_bandwidth
+            > v100_cluster.gpus[0].spec.pcie_bandwidth)

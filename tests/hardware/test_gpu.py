@@ -1,0 +1,84 @@
+"""Unit tests for the GPU health state machine and memory accounting."""
+
+import pytest
+
+from repro.hardware import Gpu, GpuHealth, GpuMemoryError, V100_32GB
+from repro.hardware.specs import GB
+from repro.sim import Environment
+
+
+@pytest.fixture
+def gpu():
+    return Gpu(Environment(), V100_32GB, "node0/gpu0")
+
+
+def test_starts_healthy(gpu):
+    assert gpu.health is GpuHealth.HEALTHY
+    assert gpu.is_usable and gpu.is_accessible
+
+
+def test_driver_corrupt_is_still_accessible(gpu):
+    gpu.fail(GpuHealth.DRIVER_CORRUPT)
+    assert gpu.is_usable
+    assert gpu.is_accessible
+
+
+def test_sticky_is_not_accessible(gpu):
+    gpu.fail(GpuHealth.STICKY_ERROR)
+    assert not gpu.is_usable
+    assert not gpu.is_accessible
+
+
+def test_dead_gpu_stays_dead(gpu):
+    gpu.fail(GpuHealth.DEAD)
+    gpu.fail(GpuHealth.DRIVER_CORRUPT)  # ignored
+    assert gpu.health is GpuHealth.DEAD
+
+
+def test_reset_clears_recoverable_states(gpu):
+    gpu.fail(GpuHealth.STICKY_ERROR)
+    gpu.reset_driver()
+    assert gpu.health is GpuHealth.HEALTHY
+
+
+def test_reset_dead_gpu_rejected(gpu):
+    gpu.fail(GpuHealth.DEAD)
+    with pytest.raises(RuntimeError):
+        gpu.reset_driver()
+
+
+def test_fail_to_healthy_rejected(gpu):
+    with pytest.raises(ValueError):
+        gpu.fail(GpuHealth.HEALTHY)
+
+
+def test_epoch_bumps_on_transitions(gpu):
+    assert gpu.epoch == 0
+    gpu.fail(GpuHealth.STICKY_ERROR)
+    assert gpu.epoch == 1
+    gpu.reset_driver()
+    assert gpu.epoch == 2
+
+
+def test_memory_accounting(gpu):
+    gpu.allocate(10 * GB)
+    assert gpu.allocated_bytes == 10 * GB
+    gpu.free(4 * GB)
+    assert gpu.allocated_bytes == 6 * GB
+
+
+def test_oom_raises(gpu):
+    with pytest.raises(GpuMemoryError):
+        gpu.allocate(33 * GB)
+
+
+def test_reset_clears_allocations(gpu):
+    gpu.allocate(5 * GB)
+    gpu.fail(GpuHealth.STICKY_ERROR)
+    gpu.reset_driver()
+    assert gpu.allocated_bytes == 0
+
+
+def test_timing_helpers(gpu):
+    assert gpu.pcie_time(16 * GB) == pytest.approx(1.0)
+    assert gpu.compute_time(62e12) == pytest.approx(1.0)

@@ -1,0 +1,285 @@
+"""Unit tests for simulated NCCL collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import BufferKind, CudaContext
+from repro.hardware import Cluster, ClusterSpec
+from repro.hardware.specs import V100_NODE
+from repro.nccl import (
+    CollectiveCostModel,
+    NcclOpMismatch,
+    NcclWorld,
+    RankHandle,
+    ReduceOp,
+)
+from repro.sim import Environment
+
+
+def make_world(num_ranks=4, num_nodes=1):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(node_spec=V100_NODE, num_nodes=num_nodes))
+    contexts = []
+    for rank in range(num_ranks):
+        node = cluster.nodes[rank % num_nodes]
+        gpu = node.gpus[rank // num_nodes]
+        contexts.append(CudaContext(env, gpu, node))
+    world = NcclWorld(env, fabric=cluster.fabric)
+    cost = CollectiveCostModel(bandwidth=V100_NODE.gpu.nvlink_bandwidth,
+                               latency=1e-6)
+    handles = [RankHandle(rank, ctx) for rank, ctx in enumerate(contexts)]
+    comm = world.create_communicator("test", handles, cost)
+    return env, cluster, contexts, world, comm
+
+
+def run_ranks(env, rank_fns):
+    procs = [env.process(fn, name=f"rank{i}") for i, fn in enumerate(rank_fns)]
+    env.run(until=env.all_of(procs))
+    return procs
+
+
+def test_init_requires_all_ranks():
+    env, _, contexts, _, comm = make_world(2)
+    done = []
+
+    def rank0():
+        yield from comm.init_rank(0)
+        done.append(env.now)
+
+    env.process(rank0())
+    env.run(until=100)
+    assert done == []  # rank 1 never joined: init hangs
+
+
+def test_init_completes_with_all_ranks():
+    env, _, contexts, _, comm = make_world(2)
+    done = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        done.append(r)
+
+    run_ranks(env, [rank(0), rank(1)])
+    assert sorted(done) == [0, 1]
+    assert comm.initialized
+
+
+def test_all_reduce_sum_matches_numpy():
+    env, _, contexts, _, comm = make_world(4)
+    bufs = [ctx.malloc(np.full(8, float(r + 1)), BufferKind.GRADIENT)
+            for r, ctx in enumerate(contexts)]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.all_reduce(r, bufs[r], stream, op=ReduceOp.SUM)
+        yield from contexts[r].stream_synchronize(stream)
+
+    run_ranks(env, [rank(r) for r in range(4)])
+    for buf in bufs:
+        np.testing.assert_array_equal(buf.array, np.full(8, 10.0))
+
+
+def test_all_reduce_mean():
+    env, _, contexts, _, comm = make_world(2)
+    bufs = [ctx.malloc(np.array([0.0, 2.0]), BufferKind.GRADIENT)
+            for ctx in contexts]
+    bufs[1].array[...] = np.array([4.0, 6.0])
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.all_reduce(r, bufs[r], stream, op=ReduceOp.MEAN)
+        yield from contexts[r].stream_synchronize(stream)
+
+    run_ranks(env, [rank(r) for r in range(2)])
+    for buf in bufs:
+        np.testing.assert_array_equal(buf.array, np.array([2.0, 4.0]))
+
+
+def test_broadcast_from_root():
+    env, _, contexts, _, comm = make_world(3)
+    bufs = [ctx.malloc(np.full(4, float(r)), BufferKind.PARAM)
+            for r, ctx in enumerate(contexts)]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.broadcast(r, bufs[r], root=1, stream=stream)
+        yield from contexts[r].stream_synchronize(stream)
+
+    run_ranks(env, [rank(r) for r in range(3)])
+    for buf in bufs:
+        np.testing.assert_array_equal(buf.array, np.full(4, 1.0))
+
+
+def test_all_gather_concatenates_by_rank():
+    env, _, contexts, _, comm = make_world(2)
+    sends = [ctx.malloc(np.full(2, float(r)), BufferKind.PARAM)
+             for r, ctx in enumerate(contexts)]
+    recvs = [ctx.malloc(np.zeros(4), BufferKind.PARAM) for ctx in contexts]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.all_gather(r, sends[r], recvs[r], stream)
+        yield from contexts[r].stream_synchronize(stream)
+
+    run_ranks(env, [rank(r) for r in range(2)])
+    for recv in recvs:
+        np.testing.assert_array_equal(recv.array, np.array([0.0, 0.0, 1.0, 1.0]))
+
+
+def test_reduce_scatter_sums_and_splits():
+    env, _, contexts, _, comm = make_world(2)
+    sends = [ctx.malloc(np.arange(4, dtype=float) + r, BufferKind.GRADIENT)
+             for r, ctx in enumerate(contexts)]
+    recvs = [ctx.malloc(np.zeros(2), BufferKind.GRADIENT) for ctx in contexts]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.reduce_scatter(r, sends[r], recvs[r], stream)
+        yield from contexts[r].stream_synchronize(stream)
+
+    run_ranks(env, [rank(r) for r in range(2)])
+    # Summed: [1, 3, 5, 7]; rank0 gets [1, 3], rank1 gets [5, 7].
+    np.testing.assert_array_equal(recvs[0].array, np.array([1.0, 3.0]))
+    np.testing.assert_array_equal(recvs[1].array, np.array([5.0, 7.0]))
+
+
+def test_send_recv_point_to_point():
+    env, _, contexts, _, comm = make_world(2)
+    src = contexts[0].malloc(np.array([7.0, 8.0]), BufferKind.ACTIVATION)
+    dst = contexts[1].malloc(np.zeros(2), BufferKind.ACTIVATION)
+
+    def rank0():
+        yield from comm.init_rank(0)
+        stream = contexts[0].create_stream("comm")
+        comm.send(0, src, dst=1, stream=stream)
+        yield from contexts[0].stream_synchronize(stream)
+
+    def rank1():
+        yield from comm.init_rank(1)
+        stream = contexts[1].create_stream("comm")
+        comm.recv(1, dst, src=0, stream=stream)
+        yield from contexts[1].stream_synchronize(stream)
+
+    run_ranks(env, [rank0(), rank1()])
+    np.testing.assert_array_equal(dst.array, np.array([7.0, 8.0]))
+
+
+def test_collective_hangs_when_one_rank_missing():
+    env, _, contexts, _, comm = make_world(3)
+    bufs = [ctx.malloc(np.ones(2), BufferKind.GRADIENT) for ctx in contexts]
+    completed = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        if r == 2:
+            return  # rank 2 "fails" before issuing the collective
+        stream = contexts[r].create_stream("comm")
+        comm.all_reduce(r, bufs[r], stream)
+        yield from contexts[r].stream_synchronize(stream)
+        completed.append(r)
+
+    for r in range(3):
+        env.process(rank(r))
+    env.run(until=1000)
+    assert completed == []  # healthy ranks blocked forever
+
+
+def test_sequence_mismatch_detected():
+    env, _, contexts, _, comm = make_world(2)
+    bufs = [ctx.malloc(np.ones(2), BufferKind.GRADIENT) for ctx in contexts]
+    errors = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        try:
+            if r == 0:
+                comm.all_reduce(r, bufs[r], stream)
+            else:
+                comm.broadcast(r, bufs[r], root=0, stream=stream)
+        except NcclOpMismatch:
+            errors.append(r)
+
+    run_ranks(env, [rank(r) for r in range(2)])
+    assert errors == [1]
+
+
+def test_abort_wakes_blocked_ranks_with_error():
+    from repro.cuda import CudaApiError
+
+    env, _, contexts, _, comm = make_world(2)
+    bufs = [ctx.malloc(np.ones(2), BufferKind.GRADIENT) for ctx in contexts]
+    outcomes = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        if r == 0:
+            comm.all_reduce(r, bufs[r], stream)
+        try:
+            yield from contexts[r].stream_synchronize(stream)
+            outcomes.append((r, "ok"))
+        except CudaApiError:
+            outcomes.append((r, "aborted"))
+
+    def aborter():
+        yield env.timeout(10)
+        comm.abort("test")
+
+    env.process(rank(0))
+    env.process(rank(1))
+    env.process(aborter())
+    env.run(until=20)
+    assert (0, "aborted") in outcomes
+
+
+def test_multi_node_collective_stalls_on_downed_link():
+    env, cluster, contexts, _, comm = make_world(2, num_nodes=2)
+    bufs = [ctx.malloc(np.ones(2), BufferKind.GRADIENT) for ctx in contexts]
+    done = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream("comm")
+        comm.all_reduce(r, bufs[r], stream)
+        yield from contexts[r].stream_synchronize(stream)
+        done.append((r, env.now))
+
+    cluster.fabric.uplink("node0").fail()
+
+    def repairer():
+        yield env.timeout(30.0)
+        cluster.fabric.uplink("node0").repair()
+
+    for r in range(2):
+        env.process(rank(r))
+    env.process(repairer())
+    env.run(until=100)
+    # The collective completed, but only after the link came back.
+    assert len(done) == 2
+    assert all(t >= 30.0 for _, t in done)
+
+
+def test_recreate_bumps_generation():
+    env, _, contexts, world, comm = make_world(2)
+    successor = world.recreate(comm)
+    assert comm.aborted
+    assert successor.generation == comm.generation + 1
+    assert successor in world.communicators
+    assert comm not in world.communicators
+
+
+def test_cost_model_shapes():
+    cost = CollectiveCostModel(bandwidth=1e9, latency=1e-6)
+    # All-reduce moves ~2x the payload for large rank counts.
+    t2 = cost.all_reduce(1e9, 2)
+    t8 = cost.all_reduce(1e9, 8)
+    assert t8 > t2
+    assert cost.all_reduce(1e9, 1) == 0.0
+    # Init scales with ranks and nodes.
+    assert cost.init(8, 1) < cost.init(8, 2) < cost.init(16, 2)

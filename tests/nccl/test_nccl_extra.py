@@ -1,0 +1,151 @@
+"""Additional NCCL coverage: barriers, broadcast mismatches, init costs,
+cross-node p2p, generation bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import BufferKind, CudaContext
+from repro.hardware import Cluster, ClusterSpec
+from repro.hardware.specs import V100_NODE
+from repro.nccl import (
+    CollectiveCostModel,
+    NcclError,
+    NcclOpMismatch,
+    NcclWorld,
+    RankHandle,
+)
+from repro.sim import Environment
+
+
+def make_world(num_ranks=2, num_nodes=1):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(node_spec=V100_NODE,
+                                       num_nodes=num_nodes))
+    contexts = []
+    per_node = V100_NODE.gpus_per_node
+    for rank in range(num_ranks):
+        node = cluster.nodes[rank // per_node if num_nodes > 1 else 0]
+        gpu = node.gpus[rank % per_node]
+        contexts.append(CudaContext(env, gpu, node))
+    world = NcclWorld(env, fabric=cluster.fabric)
+    comm = world.create_communicator(
+        "t", [RankHandle(r, contexts[r]) for r in range(num_ranks)],
+        CollectiveCostModel(bandwidth=1e11, latency=1e-6))
+    return env, cluster, contexts, world, comm
+
+
+def run_ranks(env, fns):
+    procs = [env.process(fn) for fn in fns]
+    env.run(until=env.all_of(procs))
+
+
+def test_barrier_synchronizes_ranks():
+    env, _, contexts, _, comm = make_world(3, num_nodes=1)
+    release_times = []
+
+    def rank(r, delay):
+        yield from comm.init_rank(r)
+        yield env.timeout(delay)
+        stream = contexts[r].create_stream()
+        comm.barrier(r, stream)
+        yield from contexts[r].stream_synchronize(stream)
+        release_times.append(env.now)
+
+    run_ranks(env, [rank(0, 0.0), rank(1, 5.0), rank(2, 1.0)])
+    # Everyone leaves the barrier together, gated by the slowest.
+    assert len(set(round(t, 6) for t in release_times)) == 1
+    assert min(release_times) >= 5.0
+
+
+def test_broadcast_root_disagreement_detected():
+    env, _, contexts, _, comm = make_world(2)
+    bufs = [ctx.malloc(np.zeros(2), BufferKind.PARAM) for ctx in contexts]
+    errors = []
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream()
+        comm.broadcast(r, bufs[r], root=r, stream=stream)  # roots differ!
+        try:
+            yield from contexts[r].stream_synchronize(stream)
+        except Exception:
+            errors.append(r)
+
+    procs = [env.process(rank(r)) for r in range(2)]
+    with pytest.raises(NcclOpMismatch):
+        env.run(until=env.all_of(procs))
+
+
+def test_init_rank_rejects_foreign_rank():
+    env, _, contexts, _, comm = make_world(2)
+
+    def intruder():
+        yield from comm.init_rank(99)
+
+    with pytest.raises(NcclError):
+        env.run(until=env.process(intruder()))
+
+
+def test_init_cost_scales_with_nodes():
+    cost = CollectiveCostModel(bandwidth=1e9, latency=1e-6)
+    assert cost.init(8, 2) == pytest.approx(cost.init(8, 1) + 0.45)
+
+
+def test_cross_node_p2p_transfer_time_scales_with_payload():
+    env, cluster, contexts, _, comm = make_world(9, num_nodes=2)
+    # rank 0 on node0, rank 8 on node1; 10 GB payload -> 0.1 s at the
+    # communicator's 1e11 B/s bandwidth (and it fits in V100 memory).
+    payload = int(1e10)
+    src = contexts[0].malloc(np.ones(2), BufferKind.ACTIVATION,
+                             logical_nbytes=payload)
+    dst = contexts[8].malloc(np.zeros(2), BufferKind.ACTIVATION,
+                             logical_nbytes=payload)
+    done = []
+
+    def sender():
+        yield from comm.init_rank(0)
+        stream = contexts[0].create_stream()
+        comm.send(0, src, dst=8, stream=stream)
+        yield from contexts[0].stream_synchronize(stream)
+        done.append(env.now)
+
+    def receiver():
+        yield from comm.init_rank(8)
+        stream = contexts[8].create_stream()
+        comm.recv(8, dst, src=0, stream=stream)
+        yield from contexts[8].stream_synchronize(stream)
+
+    def others(r):
+        yield from comm.init_rank(r)
+
+    run_ranks(env, [sender(), receiver()] + [others(r) for r in range(1, 8)])
+    init_time = comm.cost.init(9, 2)
+    transfer = done[0] - init_time
+    assert transfer == pytest.approx(0.1, rel=0.05)
+
+
+def test_world_abort_all_aborts_every_comm():
+    env, _, contexts, world, comm = make_world(2)
+    other = world.create_communicator(
+        "u", [RankHandle(r, contexts[r]) for r in range(2)],
+        CollectiveCostModel(bandwidth=1e9, latency=1e-6))
+    world.abort_all("test")
+    assert comm.aborted and other.aborted
+
+
+def test_recreated_comm_reuses_name_with_new_generation():
+    env, _, contexts, world, comm = make_world(2)
+    successor = world.recreate(comm)
+    again = world.recreate(successor)
+    assert again.name == comm.name
+    assert again.generation == 2
+    assert len([c for c in world.communicators if c.name == comm.name]) == 1
+
+
+def test_collectives_after_abort_raise():
+    env, _, contexts, world, comm = make_world(2)
+    comm.abort()
+    buf = contexts[0].malloc(np.zeros(2), BufferKind.GRADIENT)
+    stream = contexts[0].create_stream()
+    with pytest.raises(NcclError):
+        comm.all_reduce(0, buf, stream)

@@ -1,0 +1,63 @@
+"""Unit tests for the 3D rank grid."""
+
+import pytest
+
+from repro.parallel.topology import ParallelLayout
+
+
+def test_world_size():
+    assert ParallelLayout(dp=2, pp=4, tp=2).world_size == 16
+
+
+def test_coords_roundtrip():
+    layout = ParallelLayout(dp=2, pp=4, tp=2)
+    for rank in range(layout.world_size):
+        c = layout.coords(rank)
+        assert layout.rank_of(c.dp, c.pp, c.tp) == rank
+
+
+def test_tp_neighbours_are_adjacent():
+    layout = ParallelLayout(dp=2, pp=2, tp=4)
+    group = layout.tp_group(dp=0, pp=0)
+    assert group == [0, 1, 2, 3]
+
+
+def test_dp_group_strides():
+    layout = ParallelLayout(dp=2, pp=2, tp=2)
+    assert layout.dp_group(pp=0, tp=0) == [0, 4]
+    assert layout.dp_group(pp=1, tp=1) == [3, 7]
+
+
+def test_groups_partition_world():
+    layout = ParallelLayout(dp=2, pp=4, tp=2)
+    for groups in (layout.all_dp_groups(), layout.all_tp_groups(),
+                   layout.all_pp_groups()):
+        seen = sorted(rank for group in groups for rank in group)
+        assert seen == list(range(layout.world_size))
+
+
+def test_replicas_of_excludes_self():
+    layout = ParallelLayout(dp=4, pp=1, tp=1)
+    assert layout.replicas_of(2) == [0, 1, 3]
+
+
+def test_layer_range():
+    layout = ParallelLayout(dp=1, pp=4, tp=1)
+    assert layout.layer_range(0, 8) == (0, 2)
+    assert layout.layer_range(3, 8) == (6, 8)
+    with pytest.raises(ValueError):
+        layout.layer_range(0, 9)
+
+
+def test_describe():
+    assert ParallelLayout(dp=2, pp=4, tp=2).describe() == "2D-4P-2T"
+
+
+def test_invalid_degrees_rejected():
+    with pytest.raises(ValueError):
+        ParallelLayout(dp=0)
+
+
+def test_rank_out_of_range():
+    with pytest.raises(ValueError):
+        ParallelLayout(dp=2).coords(2)

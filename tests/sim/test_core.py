@@ -1,0 +1,322 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(5.0)
+        done.append(env.now)
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [5.0, 7.5]
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append((env.now, name))
+
+    env.process(proc("a", 2))
+    env.process(proc("b", 1))
+    env.process(proc("c", 2))
+    env.run()
+    assert order == [(1, "b"), (2, "a"), (2, "c")]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abcde":
+        env.process(proc(name))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_event_value_passed_to_process():
+    env = Environment()
+    got = []
+    trigger = env.event()
+
+    def waiter():
+        value = yield trigger
+        got.append(value)
+
+    def firer():
+        yield env.timeout(3)
+        trigger.succeed("payload")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_failed_event_raises_in_process():
+    env = Environment()
+    caught = []
+    trigger = env.event()
+
+    def waiter():
+        try:
+            yield trigger
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield env.timeout(1)
+        trigger.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_crashes_run():
+    env = Environment()
+    trigger = env.event()
+
+    def firer():
+        yield env.timeout(1)
+        trigger.fail(RuntimeError("unhandled"))
+
+    env.process(firer())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_process_completion_is_waitable():
+    env = Environment()
+    results = []
+
+    def inner():
+        yield env.timeout(2)
+        return 42
+
+    def outer():
+        value = yield env.process(inner())
+        results.append((env.now, value))
+
+    env.process(outer())
+    env.run()
+    assert results == [(2, 42)]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def inner():
+        yield env.timeout(1)
+        raise KeyError("inner died")
+
+    def outer():
+        try:
+            yield env.process(inner())
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(outer())
+    env.run()
+    assert caught == [1]
+
+
+def test_interrupt_delivered_at_yield():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    proc = env.process(victim())
+
+    def interrupter():
+        yield env.timeout(5)
+        proc.interrupt("stop now")
+
+    env.process(interrupter())
+    env.run()
+    assert log == [(5, "stop now")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+        log.append(env.now)
+
+    proc = env.process(victim())
+
+    def interrupter():
+        yield env.timeout(5)
+        proc.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert log == [6]
+
+
+def test_kill_runs_finally_blocks():
+    env = Environment()
+    cleanup = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        finally:
+            cleanup.append(env.now)
+
+    proc = env.process(victim())
+
+    def killer():
+        yield env.timeout(3)
+        proc.kill()
+
+    env.process(killer())
+    env.run()
+    assert cleanup == [3]
+    assert proc.triggered and proc.ok
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(4)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 4
+
+
+def test_run_until_deadline_stops_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=3)
+    assert env.now == 3
+
+
+def test_run_until_untriggered_event_with_empty_queue_is_deadlock():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Timeout(env, -1)
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="expected an Event"):
+        env.run()
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    result = []
+
+    def proc():
+        t_short = env.timeout(1, value="short")
+        t_long = env.timeout(10, value="long")
+        outcome = yield AnyOf(env, [t_short, t_long])
+        result.append((env.now, list(outcome.values())))
+
+    env.process(proc())
+    env.run()
+    assert result == [(1, ["short"])]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield AllOf(env, [env.timeout(1), env.timeout(7), env.timeout(3)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [7]
+
+
+def test_all_of_empty_completes_immediately():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield AllOf(env, [])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [0]
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_clock_never_goes_backwards():
+    env = Environment()
+    stamps = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        stamps.append(env.now)
+
+    for delay in (5, 1, 3, 1, 4, 0):
+        env.process(proc(delay))
+    env.run()
+    assert stamps == sorted(stamps)

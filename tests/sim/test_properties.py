@@ -1,0 +1,92 @@
+"""Property-based tests on the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_completion_times_match_delays(delays):
+    """Each process finishes exactly at its own delay."""
+    env = Environment()
+    finished = {}
+
+    def proc(index, delay):
+        yield env.timeout(delay)
+        finished[index] = env.now
+
+    for i, delay in enumerate(delays):
+        env.process(proc(i, delay))
+    env.run()
+    assert finished == {i: d for i, d in enumerate(delays)}
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_all_of_completes_at_max_any_of_at_min(delays):
+    env = Environment()
+    observed = {}
+
+    def waiter(kind, condition):
+        yield condition
+        observed[kind] = env.now
+
+    def driver():
+        all_cond = AllOf(env, [env.timeout(d) for d in delays])
+        any_cond = AnyOf(env, [env.timeout(d) for d in delays])
+        env.process(waiter("all", all_cond))
+        env.process(waiter("any", any_cond))
+        yield env.timeout(0)
+
+    env.process(driver())
+    env.run()
+    assert observed["all"] == max(delays)
+    assert observed["any"] == min(delays)
+
+
+@given(chain=st.lists(st.floats(min_value=0, max_value=1000,
+                                allow_nan=False, allow_infinity=False),
+                      min_size=1, max_size=15))
+@settings(max_examples=100)
+def test_sequential_yields_accumulate(chain):
+    env = Environment()
+    total = []
+
+    def proc():
+        for delay in chain:
+            yield env.timeout(delay)
+        total.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert total == [sum(chain)]
+
+
+@given(n=st.integers(min_value=1, max_value=50), seed=st.integers(0, 2**31))
+@settings(max_examples=50)
+def test_runs_are_bit_reproducible(n, seed):
+    """Two identical runs produce identical event orderings."""
+    import random
+
+    def build_and_run():
+        env = Environment()
+        rng = random.Random(seed)
+        order = []
+
+        def proc(name):
+            delay = rng.random() * 100
+            yield env.timeout(delay)
+            order.append((env.now, name))
+
+        for i in range(n):
+            env.process(proc(i))
+        env.run()
+        return order
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,130 @@
+"""Unit tests for Resource and Mailbox."""
+
+import pytest
+
+from repro.sim import Environment, Mailbox, Resource
+
+
+def test_resource_serializes_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(name):
+        yield from res.use(5)
+        log.append((env.now, name))
+
+    env.process(user("a"))
+    env.process(user("b"))
+    env.run()
+    assert log == [(5, "a"), (10, "b")]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def user(name):
+        yield from res.use(5)
+        log.append((env.now, name))
+
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    assert log == [(5, "a"), (5, "b"), (10, "c")]
+
+
+def test_resource_fifo_fairness():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name, start):
+        yield env.timeout(start)
+        yield res.acquire()
+        order.append(name)
+        yield env.timeout(10)
+        res.release()
+
+    env.process(user("first", 1))
+    env.process(user("second", 2))
+    env.process(user("third", 3))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_release_without_acquire_is_error():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_released_on_kill():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def holder():
+        yield from res.use(100)
+
+    def waiter():
+        yield from res.use(1)
+        log.append(env.now)
+
+    holder_proc = env.process(holder())
+    env.process(waiter())
+
+    def killer():
+        yield env.timeout(5)
+        holder_proc.kill()
+
+    env.process(killer())
+    env.run()
+    assert log == [6]
+
+
+def test_mailbox_put_then_get():
+    env = Environment()
+    box = Mailbox(env)
+    got = []
+
+    def receiver():
+        msg = yield box.get()
+        got.append((env.now, msg))
+
+    def sender():
+        yield env.timeout(2)
+        box.put("hello")
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()
+    assert got == [(2, "hello")]
+
+
+def test_mailbox_buffers_when_nobody_waiting():
+    env = Environment()
+    box = Mailbox(env)
+    box.put(1)
+    box.put(2)
+    got = []
+
+    def receiver():
+        first = yield box.get()
+        second = yield box.get()
+        got.append((first, second))
+
+    env.process(receiver())
+    env.run()
+    assert got == [(1, 2)]
+
+
+def test_mailbox_drain():
+    env = Environment()
+    box = Mailbox(env)
+    for i in range(3):
+        box.put(i)
+    assert box.drain() == [0, 1, 2]
+    assert len(box) == 0

@@ -1,0 +1,58 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim import Environment, TraceEvent, Tracer
+
+
+def test_records_in_order_with_details():
+    tracer = Tracer(enabled=True)
+    tracer.record(1.0, "gpu0", "kernel", name="fwd")
+    tracer.record(2.0, "gpu1", "kernel", name="bwd")
+    assert len(tracer) == 2
+    assert tracer.events[0] == TraceEvent(1.0, "gpu0", "kernel",
+                                          {"name": "fwd"})
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "a", "b")
+    assert len(tracer) == 0
+
+
+def test_empty_tracer_is_still_truthy():
+    """Regression: `tracer or default` must never discard a live tracer."""
+    tracer = Tracer(enabled=True)
+    assert bool(tracer)
+    assert (tracer or None) is tracer
+
+
+def test_filter_by_actor_and_action():
+    tracer = Tracer()
+    tracer.record(1.0, "gpu0", "kernel")
+    tracer.record(2.0, "gpu0", "memcpy")
+    tracer.record(3.0, "gpu1", "kernel")
+    assert len(tracer.filter(actor="gpu0")) == 2
+    assert len(tracer.filter(action="kernel")) == 2
+    assert len(tracer.filter(actor="gpu1", action="kernel")) == 1
+
+
+def test_render_and_limit():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.record(float(i), f"actor{i}", "tick", step=i)
+    text = tracer.render(limit=2)
+    assert "actor0" in text and "actor1" in text
+    assert "actor4" not in text
+    assert "step=0" in text
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record(0.0, "a", "b")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_trace_event_str_sorted_details():
+    event = TraceEvent(1.5, "gpu0", "op_done", {"z": 1, "a": 2})
+    text = str(event)
+    assert text.index("a=2") < text.index("z=1")

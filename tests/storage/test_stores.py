@@ -1,0 +1,156 @@
+"""Unit tests for checkpoint stores."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Environment
+from repro.storage import LocalDiskStore, SharedObjectStore, TmpfsStore
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_write_then_read_roundtrip(env):
+    store = SharedObjectStore(env, bandwidth=1e9, latency=0.0)
+    payload = {"weights": np.arange(4.0)}
+
+    def writer():
+        yield from store.write("ckpt/rank0", payload, nbytes=1e9)
+
+    def reader():
+        return (yield from store.read("ckpt/rank0"))
+
+    drive(env, writer())
+    result = drive(env, reader())
+    np.testing.assert_array_equal(result["weights"], np.arange(4.0))
+
+
+def test_write_time_follows_bandwidth(env):
+    store = SharedObjectStore(env, bandwidth=2e9, latency=0.5)
+
+    def writer():
+        yield from store.write("a", {}, nbytes=4e9)
+
+    drive(env, writer())
+    assert env.now == pytest.approx(2.5)
+
+
+def test_payload_is_isolated_from_later_mutation(env):
+    store = SharedObjectStore(env, bandwidth=1e12)
+    live = {"w": np.zeros(3)}
+
+    def writer():
+        yield from store.write("a", live, nbytes=10)
+
+    drive(env, writer())
+    live["w"][...] = 99.0  # optimizer keeps training after the snapshot
+
+    def reader():
+        return (yield from store.read("a"))
+
+    result = drive(env, reader())
+    np.testing.assert_array_equal(result["w"], np.zeros(3))
+
+
+def test_torn_write_is_not_readable(env):
+    store = SharedObjectStore(env, bandwidth=1e9, latency=0.0)
+
+    def writer():
+        yield from store.write("torn", {"x": 1}, nbytes=10e9)  # 10 seconds
+
+    proc = env.process(writer())
+
+    def killer():
+        yield env.timeout(3.0)
+        proc.kill()
+
+    env.process(killer())
+    env.run()
+    assert not store.exists("torn")
+    assert store.stat("torn") is not None          # partial object visible
+    assert not store.stat("torn").complete
+
+    def reader():
+        return (yield from store.read("torn"))
+
+    with pytest.raises(FileNotFoundError):
+        drive(env, reader())
+
+
+def test_list_only_returns_complete_objects(env):
+    store = SharedObjectStore(env, bandwidth=1e9)
+
+    def writer(path, nbytes):
+        yield from store.write(path, {}, nbytes=nbytes)
+
+    proc = env.process(writer("ckpt/rank0/meta", 1))
+    slow = env.process(writer("ckpt/rank1/meta", 1e12))
+
+    def killer():
+        yield env.timeout(1.0)
+        slow.kill()
+
+    env.process(killer())
+    env.run()
+    assert store.list("ckpt/") == ["ckpt/rank0/meta"]
+
+
+def test_local_disk_serializes_writers(env):
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    store = LocalDiskStore(env, node, latency=0.0)
+    nbytes = node.spec.disk_bandwidth  # one second each
+    done = []
+
+    def writer(path):
+        yield from store.write(path, {}, nbytes=nbytes)
+        done.append((path, env.now))
+
+    env.process(writer("a"))
+    env.process(writer("b"))
+    env.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_shared_store_parallel_writers(env):
+    store = SharedObjectStore(env, bandwidth=1e9, latency=0.0)
+    done = []
+
+    def writer(path):
+        yield from store.write(path, {}, nbytes=1e9)
+        done.append((path, env.now))
+
+    env.process(writer("a"))
+    env.process(writer("b"))
+    env.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(1.0))]
+
+
+def test_tmpfs_faster_than_disk(env):
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    tmpfs = TmpfsStore(env, node)
+    disk = LocalDiskStore(env, node)
+    assert tmpfs.transfer_time(10e9) < disk.transfer_time(10e9)
+
+
+def test_delete_and_wipe(env):
+    store = SharedObjectStore(env, bandwidth=1e12)
+
+    def writer(path):
+        yield from store.write(path, {}, nbytes=1)
+
+    drive(env, writer("a"))
+    drive(env, writer("b"))
+    store.delete("a")
+    assert not store.exists("a")
+    assert store.exists("b")
+    store.wipe()
+    assert store.list() == []

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public API surface; these tests keep them honest
+(each example also contains its own correctness assertions).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "transparent_recovery", "checkpoint_planning",
+            "failure_campaign", "proxy_anatomy"} <= names

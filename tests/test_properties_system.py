@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import BufferKind, CudaContext
+from repro.framework.data import SyntheticDataset
+from repro.framework.layers import softmax_cross_entropy
+from repro.hardware import Cluster, ClusterSpec
+from repro.nccl import CollectiveCostModel, NcclWorld, RankHandle, ReduceOp
+from repro.parallel.buffers import distribute_logical_bytes
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+
+
+# -- NCCL data semantics vs numpy ----------------------------------------------------
+
+
+@given(nranks=st.integers(2, 6),
+       shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+       seed=st.integers(0, 2**31),
+       op=st.sampled_from([ReduceOp.SUM, ReduceOp.MEAN, ReduceOp.MAX]))
+@settings(max_examples=40, deadline=None)
+def test_all_reduce_matches_numpy_for_any_shape(nranks, shape, seed, op):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(shape) for _ in range(nranks)]
+    contexts = [CudaContext(env, node.gpus[r], node) for r in range(nranks)]
+    world = NcclWorld(env, fabric=cluster.fabric)
+    comm = world.create_communicator(
+        "t", [RankHandle(r, contexts[r]) for r in range(nranks)],
+        CollectiveCostModel(bandwidth=1e12, latency=1e-9))
+    bufs = [contexts[r].malloc(inputs[r].copy(), BufferKind.GRADIENT)
+            for r in range(nranks)]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream()
+        comm.all_reduce(r, bufs[r], stream, op=op)
+        yield from contexts[r].stream_synchronize(stream)
+
+    procs = [env.process(rank(r)) for r in range(nranks)]
+    env.run(until=env.all_of(procs))
+
+    stacked = np.stack(inputs)
+    expected = {ReduceOp.SUM: stacked.sum(axis=0),
+                ReduceOp.MEAN: stacked.mean(axis=0),
+                ReduceOp.MAX: stacked.max(axis=0)}[op]
+    for buf in bufs:
+        np.testing.assert_array_equal(buf.array, expected)
+
+
+@given(nranks=st.integers(2, 6), n=st.integers(1, 8),
+       seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_reduce_scatter_then_all_gather_is_mean(nranks, n, seed):
+    """FSDP's core identity: RS(mean) then AG reassembles the mean."""
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=1))
+    node = cluster.nodes[0]
+    rng = np.random.default_rng(seed)
+    size = n * nranks
+    inputs = [rng.standard_normal(size) for _ in range(nranks)]
+    contexts = [CudaContext(env, node.gpus[r], node) for r in range(nranks)]
+    world = NcclWorld(env, fabric=cluster.fabric)
+    comm = world.create_communicator(
+        "t", [RankHandle(r, contexts[r]) for r in range(nranks)],
+        CollectiveCostModel(bandwidth=1e12, latency=1e-9))
+    sends = [contexts[r].malloc(inputs[r].copy(), BufferKind.GRADIENT)
+             for r in range(nranks)]
+    shards = [contexts[r].malloc(np.zeros(n), BufferKind.GRADIENT)
+              for r in range(nranks)]
+    fulls = [contexts[r].malloc(np.zeros(size), BufferKind.GRADIENT)
+             for r in range(nranks)]
+
+    def rank(r):
+        yield from comm.init_rank(r)
+        stream = contexts[r].create_stream()
+        comm.reduce_scatter(r, sends[r], shards[r], stream, op=ReduceOp.MEAN)
+        comm.all_gather(r, shards[r], fulls[r], stream)
+        yield from contexts[r].stream_synchronize(stream)
+
+    procs = [env.process(rank(r)) for r in range(nranks)]
+    env.run(until=env.all_of(procs))
+    expected = np.stack(inputs).mean(axis=0)
+    for full in fulls:
+        np.testing.assert_allclose(full.array, expected, atol=1e-12)
+
+
+# -- logical byte distribution ---------------------------------------------------------
+
+
+@given(sizes=st.lists(st.integers(1, 1000), min_size=1, max_size=12),
+       total=st.integers(1, 10**12))
+@settings(max_examples=100)
+def test_distribute_logical_bytes_sums_exactly(sizes, total):
+    arrays = {f"a{i}": np.zeros(size) for i, size in enumerate(sizes)}
+    shares = distribute_logical_bytes(arrays, total)
+    assert sum(shares.values()) == total
+    assert set(shares) == set(arrays)
+
+
+# -- topology ---------------------------------------------------------------------------
+
+
+@given(dp=st.integers(1, 4), pp=st.integers(1, 4), tp=st.integers(1, 4))
+@settings(max_examples=60)
+def test_layout_coords_bijective(dp, pp, tp):
+    layout = ParallelLayout(dp=dp, pp=pp, tp=tp)
+    seen = set()
+    for rank in range(layout.world_size):
+        c = layout.coords(rank)
+        assert layout.rank_of(c.dp, c.pp, c.tp) == rank
+        seen.add((c.dp, c.pp, c.tp))
+    assert len(seen) == layout.world_size
+
+
+@given(dp=st.integers(2, 4), pp=st.integers(1, 3), tp=st.integers(1, 3))
+@settings(max_examples=60)
+def test_replicas_are_symmetric(dp, pp, tp):
+    layout = ParallelLayout(dp=dp, pp=pp, tp=tp)
+    for rank in range(layout.world_size):
+        for replica in layout.replicas_of(rank):
+            assert rank in layout.replicas_of(replica)
+
+
+# -- dataset ------------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 2**31), iteration=st.integers(0, 10**6),
+       dp_world=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=60)
+def test_dataset_shards_partition_and_are_pure(seed, iteration, dp_world):
+    ds = SyntheticDataset(seed=seed, n_features=6, n_classes=4,
+                          global_batch=16)
+    x_full, y_full = ds.global_minibatch(iteration)
+    parts = [ds.shard(iteration, r, dp_world) for r in range(dp_world)]
+    np.testing.assert_array_equal(
+        np.concatenate([x for x, _ in parts]), x_full)
+    np.testing.assert_array_equal(
+        np.concatenate([y for _, y in parts]), y_full)
+    x_again, _ = ds.global_minibatch(iteration)
+    np.testing.assert_array_equal(x_again, x_full)
+
+
+# -- loss function -----------------------------------------------------------------------
+
+
+@given(batch=st.integers(1, 8), classes=st.integers(2, 6),
+       seed=st.integers(0, 2**31))
+@settings(max_examples=80)
+def test_softmax_xent_gradient_sums_to_zero_rowwise(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((batch, classes))
+    labels = rng.integers(0, classes, size=batch)
+    loss, grad = softmax_cross_entropy(logits, labels)
+    assert loss >= 0
+    # Softmax gradient rows sum to zero (probabilities minus one-hot).
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+    # And gradient magnitudes are bounded by 1/batch.
+    assert np.abs(grad).max() <= 1.0 / batch + 1e-12
