@@ -7,6 +7,10 @@ run sees several failures) and compare the *measured* wasted-time
 fraction against the model's prediction using the same o, r, m, f.
 Agreement within a small factor validates both the simulator's failure
 accounting and the model's structure.
+
+The seed campaigns run through the ``repro.campaign`` engine: one
+scenario per seed, fanned out over worker processes, aggregated
+deterministically.
 """
 
 from benchmarks.conftest import fmt, print_table, run_once
@@ -15,78 +19,68 @@ from repro.analysis.model import (
     jit_user_level_wasted_per_gpu,
     wasted_fraction,
 )
-from repro.cluster.worker import InitCosts
-from repro.core import UserLevelJitRunner
-from repro.failures import FailureInjector, FailureType, PoissonSchedule
-from repro.hardware.specs import V100_NODE
-from repro.parallel.topology import ParallelLayout
-from repro.sim import Environment
-from repro.storage import SharedObjectStore
-from repro.workloads import TrainingJob, WorkloadSpec
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.workloads.catalog import WORKLOADS
 
-SPEC = WorkloadSpec(name="XVAL", model="GPT2-S", node_spec=V100_NODE,
-                    num_nodes=1, layout=ParallelLayout(dp=4), engine="ddp",
-                    framework="bench", minibatch_time=0.2)
+MODEL = "GPT2-S"
+MINIBATCH_TIME = 0.2
 ITERS = 250
 #: Exaggerated so ~2-4 failures land in a ~90s run.
 FAILURE_RATE = 1.0 / 120.0      # per GPU per second
 SEEDS = (3, 11, 42)
 
-
-def run_campaign(seed: int) -> dict:
-    env = Environment()
-    store = SharedObjectStore(env, bandwidth=1.5e9)
-    runner = UserLevelJitRunner(env, SPEC, store, target_iterations=ITERS,
-                                progress_timeout=20.0,
-                                init_costs=InitCosts(1.0, 0.5, 0.5))
-    schedule = PoissonSchedule(
-        runner.manager.cluster, FAILURE_RATE, horizon=2000.0, seed=seed,
-        type_mix=((FailureType.GPU_HARD, 0.4),
-                  (FailureType.GPU_STICKY, 0.4),
-                  (FailureType.GPU_DRIVER_CORRUPT, 0.2)))
-    FailureInjector(env, runner.manager.cluster).arm(schedule)
-    report = runner.execute()
-    assert report.completed
-    return report
+CAMPAIGN = CampaignSpec.grid(
+    "crossvalidation",
+    workloads=[MODEL],
+    policies=["user_jit"],
+    seeds=list(SEEDS),
+    target_iterations=ITERS,
+    failure_rate=FAILURE_RATE,
+    horizon=2000.0,
+    node="DGX1-V100",
+    minibatch_time=MINIBATCH_TIME,
+    init_costs=(1.0, 0.5, 0.5),
+    progress_timeout=20.0,
+    type_mix=(("GPU_HARD", 0.4),
+              ("GPU_STICKY", 0.4),
+              ("GPU_DRIVER_CORRUPT", 0.2)),
+)
 
 
 def analytic_prediction() -> float:
     # o: measured JIT checkpoint ~1.2s (Table 4 bench, GPT2-S); r: init
     # costs + restore reads (~5s at these sizes); m from the spec.
+    world_size = WORKLOADS[MODEL].world_size
     params = CostParameters(checkpoint_overhead=1.3,
                             failure_rate=FAILURE_RATE,
                             fixed_recovery=5.5,
-                            minibatch_time=SPEC.minibatch_time)
-    return wasted_fraction(
-        jit_user_level_wasted_per_gpu(SPEC.world_size, params))
+                            minibatch_time=MINIBATCH_TIME)
+    return wasted_fraction(jit_user_level_wasted_per_gpu(world_size, params))
 
 
 def bench_crossvalidation_empirical_vs_model(benchmark):
-    plain = TrainingJob(SPEC)
-    plain.run_training(ITERS)
-    ideal = plain.env.now
-
     def run():
-        rows = []
-        for seed in SEEDS:
-            report = run_campaign(seed)
-            wasted = report.total_time - ideal
-            rows.append({"seed": seed,
-                         "failures": report.failures_observed,
-                         "wasted_fraction": wasted / report.total_time})
-        return rows
+        # No cache: this bench *measures* campaign execution.
+        return CampaignRunner(cache=None).run(CAMPAIGN)
 
-    rows = run_once(benchmark, run)
+    result = run_once(benchmark, run)
+    rows = [(o.spec.seed, o.metrics) for o in result.outcomes]
+    for _seed, metrics in rows:
+        assert metrics["completed"]
+        assert metrics["losses_digest"] == metrics["reference_digest"]
+
     predicted = analytic_prediction()
-    measured = sum(r["wasted_fraction"] for r in rows) / len(rows)
+    measured = sum(m["wasted_fraction"] for _s, m in rows) / len(rows)
     print_table(
         "Empirical failure campaigns vs Section 5 model (user-level JIT, "
         "GPT2-S 4D, exaggerated f)",
         ["seed", "failures", "measured wasted fraction"],
-        [[r["seed"], r["failures"], fmt(100 * r["wasted_fraction"], 2) + "%"]
-         for r in rows]
-        + [["model prediction", "-", fmt(100 * predicted, 2) + "%"]])
+        [[seed, metrics["failures"],
+          fmt(100 * metrics["wasted_fraction"], 2) + "%"]
+         for seed, metrics in rows]
+        + [["model prediction", "-", fmt(100 * predicted, 2) + "%"]],
+        note=f"campaign engine: {result.perf.describe()}")
     # Campaigns saw real failures and the measurement brackets the model
     # within a small factor (stochastic runs, few failures each).
-    assert sum(r["failures"] for r in rows) >= 3
+    assert sum(m["failures"] for _s, m in rows) >= 3
     assert predicted / 4 < measured < predicted * 4

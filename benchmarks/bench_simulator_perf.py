@@ -3,6 +3,11 @@
 Every other bench measures *simulated* seconds; these measure the
 simulator itself, so regressions in the event loop or the CUDA/NCCL
 layers show up in CI.  pytest-benchmark's timing columns are the result.
+
+The scenario bodies are module-level functions returning the finished
+:class:`~repro.sim.Environment` so ``run_perf_baseline.py`` can reuse
+them to compute events/sec and persist ``BENCH_simulator.json`` — the
+perf trajectory tracked across PRs.
 """
 
 from repro.parallel.topology import ParallelLayout
@@ -11,49 +16,66 @@ from repro.workloads import TrainingJob, WorkloadSpec
 from repro.hardware.specs import V100_NODE
 
 
-def bench_event_loop_throughput(benchmark):
-    """Raw engine: schedule/dispatch 50k timeout events."""
-    def run():
-        env = Environment()
+def run_event_loop(processes: int = 10, ticks: int = 5000) -> Environment:
+    """Raw engine: schedule/dispatch ``processes * ticks`` timeout events."""
+    env = Environment()
 
-        def ticker(n):
-            for _ in range(n):
-                yield env.timeout(1.0)
+    def ticker(n):
+        for _ in range(n):
+            yield env.timeout(1.0)
 
-        for _ in range(10):
-            env.process(ticker(5000))
-        env.run()
-        return env.now
-
-    result = benchmark(run)
-    assert result == 5000.0
+    for _ in range(processes):
+        env.process(ticker(ticks))
+    env.run()
+    assert env.now == ticks
+    return env
 
 
-def bench_ddp_training_throughput(benchmark):
-    """Full stack: 4-rank DDP, 10 iterations (~15k sim events)."""
+def run_ddp_training(iterations: int = 10) -> Environment:
+    """Full stack: 4-rank DDP (~15k sim events at 10 iterations)."""
     spec = WorkloadSpec(name="PERF", model="GPT2-S", node_spec=V100_NODE,
                         num_nodes=1, layout=ParallelLayout(dp=4),
                         engine="ddp", framework="bench",
                         minibatch_time=0.05)
-
-    def run():
-        job = TrainingJob(spec)
-        return job.run_training(10)
-
-    losses = benchmark(run)
-    assert len(losses[0]) == 10
+    job = TrainingJob(spec)
+    losses = job.run_training(iterations)
+    assert len(losses[0]) == iterations
+    return job.env
 
 
-def bench_3d_training_throughput(benchmark):
+def run_3d_training(iterations: int = 6) -> Environment:
     """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
     spec = WorkloadSpec(name="PERF3D", model="GPT2-S", node_spec=V100_NODE,
                         num_nodes=1, layout=ParallelLayout(dp=2, pp=2, tp=2),
                         engine="3d", framework="bench",
                         minibatch_time=0.05)
-
-    def run():
-        job = TrainingJob(spec)
-        return job.run_training(6)
-
-    losses = benchmark(run)
+    job = TrainingJob(spec)
+    losses = job.run_training(iterations)
     assert any(losses)
+    return job.env
+
+
+#: name -> scenario body, shared with ``run_perf_baseline.py``.
+PERF_SCENARIOS = {
+    "bench_event_loop_throughput": run_event_loop,
+    "bench_ddp_training_throughput": run_ddp_training,
+    "bench_3d_training_throughput": run_3d_training,
+}
+
+
+def bench_event_loop_throughput(benchmark):
+    """Raw engine: schedule/dispatch 50k timeout events."""
+    env = benchmark(run_event_loop)
+    assert env.now == 5000.0
+
+
+def bench_ddp_training_throughput(benchmark):
+    """Full stack: 4-rank DDP, 10 iterations (~15k sim events)."""
+    env = benchmark(run_ddp_training)
+    assert env.events_processed > 0
+
+
+def bench_3d_training_throughput(benchmark):
+    """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
+    env = benchmark(run_3d_training)
+    assert env.events_processed > 0

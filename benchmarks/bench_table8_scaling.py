@@ -9,18 +9,19 @@ Parameters o, r, m are calibrated from the simulated hardware model
 (2 failures/day on 992 GPUs).  Expected shapes: periodic w_f grows like
 sqrt(N) and crosses the JIT variants near N~1000; transparent JIT stays
 essentially flat.
+
+The (model x N) grid is evaluated through the ``repro.campaign`` engine
+as analytic scenarios — the same fan-out/aggregate machinery the
+simulated campaigns use.
 """
 
 from benchmarks.conftest import fmt_pct, print_table, run_once
 from repro.analysis import (
     CalibratedParameters,
-    CostParameters,
-    jit_transparent_wasted_per_gpu,
     jit_user_level_wasted_per_gpu,
-    optimal_checkpoint_frequency,
     periodic_wasted_per_gpu,
-    wasted_fraction,
 )
+from repro.campaign import CampaignRunner, CampaignSpec
 from repro.workloads.catalog import WORKLOADS
 
 MODELS = ["BERT-L-PT", "BERT-B-FT", "GPT2-S", "GPT2-8B"]
@@ -41,41 +42,24 @@ PAPER_USER_JIT = {
     "GPT2-8B": (0.0003, 0.07, 0.56),
 }
 
-
-def analyze(name: str) -> dict:
-    spec = WORKLOADS[name]
-    params = CalibratedParameters.from_spec(spec).params
-    transparent_params = CostParameters(
-        checkpoint_overhead=params.checkpoint_overhead,
-        failure_rate=params.failure_rate,
-        fixed_recovery=0.0,   # CPU process survives: no re-init (Sec 5.5)
-        minibatch_time=params.minibatch_time)
-    out = {"model": name, "params": params, "rows": []}
-    for n in NS:
-        c_star = optimal_checkpoint_frequency(n, params.failure_rate,
-                                              params.checkpoint_overhead)
-        out["rows"].append({
-            "n": n,
-            "c_star_per_hr": c_star * 3600,
-            "periodic": wasted_fraction(periodic_wasted_per_gpu(n, params)),
-            "user_jit": wasted_fraction(
-                jit_user_level_wasted_per_gpu(n, params)),
-            "transparent": wasted_fraction(
-                jit_transparent_wasted_per_gpu(n, transparent_params)),
-        })
-    return out
+CAMPAIGN = CampaignSpec.analytic_grid(
+    "table8-scaling", workloads=MODELS, gpu_counts=NS)
 
 
 def bench_table8_scaling(benchmark):
-    results = run_once(benchmark, lambda: [analyze(m) for m in MODELS])
+    result = run_once(benchmark, lambda: CampaignRunner(cache=None)
+                      .run(CAMPAIGN))
+    by_model: dict[str, dict[int, dict]] = {}
     table = []
-    for result in results:
-        for row in result["rows"]:
-            table.append([
-                result["model"], row["n"], f"{row['c_star_per_hr']:.2f}/hr",
-                fmt_pct(row["periodic"]), fmt_pct(row["user_jit"]),
-                fmt_pct(row["transparent"], 4),
-            ])
+    for outcome in result.outcomes:
+        model = outcome.spec.workload
+        metrics = outcome.metrics
+        by_model.setdefault(model, {})[metrics["n"]] = metrics
+        table.append([
+            model, metrics["n"], f"{metrics['c_star_per_hr']:.2f}/hr",
+            fmt_pct(metrics["periodic"]), fmt_pct(metrics["user_jit"]),
+            fmt_pct(metrics["transparent"], 4),
+        ])
     print_table(
         "Table 8: wasted GPU time scaling (c* and w_f)",
         ["Model", "N", "c*", "w_f periodic", "w_f user JIT",
@@ -84,8 +68,8 @@ def bench_table8_scaling(benchmark):
         note="paper shapes: periodic grows ~sqrt(N); JIT grows slowly; "
              "transparent stays flat")
 
-    for result in results:
-        rows = {r["n"]: r for r in result["rows"]}
+    assert set(by_model) == set(MODELS)
+    for rows in by_model.values():
         # Periodic wasted time grows steeply with N.
         assert rows[8192]["periodic"] > rows[1024]["periodic"] \
             > rows[4]["periodic"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Refresh the simulator performance baseline (``BENCH_simulator.json``).
+
+Runs every scenario in ``bench_simulator_perf.PERF_SCENARIOS`` a few
+times, keeps the best wall-clock, and writes events-per-second per bench
+to a JSON baseline committed at the repo root — so the kernel's perf
+trajectory is tracked across PRs and regressions show up in review.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Allow invocation from anywhere: make the repo root importable.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import repro
+from benchmarks.bench_simulator_perf import PERF_SCENARIOS
+
+ROUNDS = 5
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def measure(name: str, scenario) -> dict:
+    scenario()  # warm-up round (imports, caches, allocator)
+    best_wall = float("inf")
+    events = 0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        env = scenario()
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_wall = wall
+            events = env.events_processed
+    return {
+        "events": events,
+        "best_wall_seconds": round(best_wall, 6),
+        "events_per_sec": round(events / best_wall),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    output = Path(args[0]) if args else DEFAULT_OUTPUT
+    baseline = {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "rounds": ROUNDS,
+        "benches": {},
+    }
+    for name, scenario in PERF_SCENARIOS.items():
+        result = measure(name, scenario)
+        baseline["benches"][name] = result
+        print(f"{name:<34} {result['events']:>8} events  "
+              f"{result['best_wall_seconds']:>9.4f}s  "
+              f"{result['events_per_sec']:>10,} ev/s")
+    output.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,110 +1,105 @@
 #!/usr/bin/env python3
-"""Failure campaign: a long training run under Poisson failures.
+"""Failure campaign: JIT vs periodic checkpointing under Poisson failures.
 
-Draws a random failure schedule (the paper's model: each GPU fails
-independently, mostly single-GPU and network errors) and runs the same
-training job to completion twice — once with user-level JIT checkpointing,
-once with periodic PC_mem checkpointing at its analytically optimal
-interval — then compares wall time, restarts and wasted time empirically.
+Runs a (policy x seed) grid of training-under-failures scenarios through
+the campaign engine (``repro.campaign``): scenarios fan out over worker
+processes, every result lands in a content-hash cache, and the aggregator
+produces the mean/p50/p99 restart and wasted-time columns the paper's
+tables are built from.  A second run of the same campaign is served
+entirely from cache — the engine's "re-runs of unchanged scenarios are
+free" guarantee — which this script demonstrates by running the campaign
+twice.
 
 Run:  python examples/failure_campaign.py [seed]
 """
 
 import sys
+import tempfile
 
-from repro.analysis import CalibratedParameters, optimal_checkpoint_frequency
-from repro.core import UserLevelJitRunner
-from repro.core.periodic import CheckpointMode, PeriodicPolicy, PeriodicRunner
-from repro.failures import FailureInjector, FailureType, PoissonSchedule
-from repro.sim import Environment
-from repro.storage import SharedObjectStore
-from repro.workloads import TrainingJob
-from repro.workloads.catalog import WORKLOADS
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
 
 MODEL = "GPT2-S"
-TARGET_ITERATIONS = 150
+TARGET_ITERATIONS = 60
 #: Exaggerated failure rate so a short demo sees several failures
 #: (real clusters: ~2e-3/GPU/day; here a few per simulated run).
-FAILURE_RATE_PER_GPU_PER_SECOND = 1.0 / 160.0
+FAILURE_RATE_PER_GPU_PER_SECOND = 1.0 / 40.0
 HORIZON = 600.0
 
 
-def build_schedule(cluster, seed: int):
-    schedule = PoissonSchedule(
-        cluster, FAILURE_RATE_PER_GPU_PER_SECOND, horizon=HORIZON,
-        seed=seed,
+def build_campaign(seed: int) -> CampaignSpec:
+    return CampaignSpec.grid(
+        f"jit-vs-periodic-{MODEL}",
+        workloads=[MODEL],
+        policies=["user_jit", "periodic"],
+        seeds=[seed, seed + 1, seed + 2],
+        target_iterations=TARGET_ITERATIONS,
+        failure_rate=FAILURE_RATE_PER_GPU_PER_SECOND,
+        horizon=HORIZON,
+        minibatch_time=0.2,
+        init_costs=(1.0, 0.5, 0.5),
+        progress_timeout=20.0,
         # Exclude whole-node crashes: a single-node demo job has no
         # replicas left after one, which needs the JIT+periodic combo
         # (see benchmarks/bench_ablation_combined.py).
-        type_mix=((FailureType.GPU_HARD, 0.35),
-                  (FailureType.GPU_STICKY, 0.35),
-                  (FailureType.GPU_DRIVER_CORRUPT, 0.30)),
+        type_mix=(("GPU_HARD", 0.35),
+                  ("GPU_STICKY", 0.35),
+                  ("GPU_DRIVER_CORRUPT", 0.30)),
     )
-    return schedule.events()
 
 
-def run_jit(spec, seed: int):
-    env = Environment()
-    store = SharedObjectStore(env, bandwidth=1.5e9)
-    runner = UserLevelJitRunner(env, spec, store,
-                                target_iterations=TARGET_ITERATIONS,
-                                progress_timeout=30.0)
-    injector = FailureInjector(env, runner.manager.cluster)
-    injector.arm(build_schedule(runner.manager.cluster, seed))
-    return runner.execute()
-
-
-def run_periodic(spec, seed: int):
-    params = CalibratedParameters.from_spec(
-        spec, failure_rate_per_gpu_per_day=FAILURE_RATE_PER_GPU_PER_SECOND
-        * 86400).params
-    c_star = optimal_checkpoint_frequency(spec.world_size,
-                                          params.failure_rate,
-                                          params.checkpoint_overhead)
-    interval_iters = max(1, int(round(1 / c_star / spec.minibatch_time)))
-    env = Environment()
-    store = SharedObjectStore(env, bandwidth=1.5e9)
-    runner = PeriodicRunner(
-        env, spec, store, target_iterations=TARGET_ITERATIONS,
-        policy=PeriodicPolicy(CheckpointMode.PC_MEM, interval_iters),
-        progress_timeout=30.0)
-    injector = FailureInjector(env, runner.manager.cluster)
-    injector.arm(build_schedule(runner.manager.cluster, seed))
-    return runner.execute(), interval_iters
-
-
-def describe(name, report, ideal_time):
-    wasted = report.total_time - ideal_time
-    print(f"  {name:<22} total {report.total_time:7.1f}s  "
-          f"failures {report.failures_observed}  restarts {report.restarts}  "
-          f"wasted {wasted:7.1f}s ({100 * wasted / report.total_time:.0f}%)")
+def describe(entry: dict) -> None:
+    wasted = entry["wasted_time"]
+    restarts = entry["restarts"]
+    print(f"  {entry['policy']:<10} scenarios {entry['scenarios']}  "
+          f"failures {entry['failures']}  "
+          f"restarts mean {restarts['mean']:.1f} / p99 {restarts['p99']:.1f}  "
+          f"wasted mean {wasted['mean']:6.1f}s / p99 {wasted['p99']:6.1f}s  "
+          f"goodput {entry['goodput']['mean']:.2f}")
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
-    spec = WORKLOADS[MODEL]
-    print(f"Workload: {spec.describe()}")
-    print(f"Target: {TARGET_ITERATIONS} iterations; Poisson failures at "
-          f"{FAILURE_RATE_PER_GPU_PER_SECOND * 3600:.1f}/GPU/hour "
-          f"(exaggerated for the demo), seed {seed}\n")
+    campaign = build_campaign(seed)
+    print(f"Campaign: {campaign.name} — {len(campaign)} scenarios "
+          f"({MODEL}, {TARGET_ITERATIONS} iterations each, Poisson failures "
+          f"at {FAILURE_RATE_PER_GPU_PER_SECOND * 3600:.0f}/GPU/hour, "
+          f"seeds {seed}..{seed + 2})\n")
 
-    plain = TrainingJob(spec)
-    reference = plain.run_training(TARGET_ITERATIONS)[0]
-    ideal = plain.env.now
-    print(f"ideal failure-free time: {ideal:.1f}s\n")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = CampaignRunner(cache=ResultCache(cache_dir))
+        result = runner.run(campaign)
+        print(f"cold run: {result.perf.describe()}, "
+              f"{result.perf.wall_seconds:.1f}s wall")
 
-    jit_report = run_jit(spec, seed)
-    periodic_report, interval = run_periodic(spec, seed)
+        aggregated = result.aggregate()
+        print("\nresults (mean over seeds):")
+        for entry in aggregated:
+            describe(entry)
 
-    print("results:")
-    describe("user-level JIT", jit_report, ideal)
-    describe(f"PC_mem (every {interval} it)", periodic_report, ideal)
+        # Semantics preserved exactly: every scenario's loss stream matches
+        # its failure-free reference bit for bit (the paper's core claim).
+        for outcome in result.outcomes:
+            metrics = outcome.metrics
+            assert metrics["completed"], outcome.spec.scenario_id
+            assert metrics["losses_digest"] == metrics["reference_digest"], \
+                outcome.spec.scenario_id
+        digests = {o.metrics["losses_digest"] for o in result.outcomes}
+        assert len(digests) == 1, "policies/seeds must agree on the losses"
 
-    assert jit_report.completed and periodic_report.completed
-    assert jit_report.final_losses == reference
-    assert periodic_report.final_losses == reference
-    print("\nboth strategies preserved semantics exactly; JIT redid at most "
-          "one minibatch per failure, periodic redid up to a full interval")
+        # Re-running an unchanged campaign is free: all scenarios hit cache.
+        rerun = runner.run(campaign)
+        assert rerun.executed == 0 and rerun.cache_hits == len(campaign)
+        from repro.campaign import canonical_json
+        assert canonical_json(rerun.aggregate()) == canonical_json(aggregated)
+        print(f"\nwarm rerun: {rerun.perf.describe()} — unchanged scenarios "
+              f"are free, aggregates byte-identical")
+
+    jit = next(e for e in aggregated if e["policy"] == "user_jit")
+    periodic = next(e for e in aggregated if e["policy"] == "periodic")
+    print(f"\nJIT redid at most one minibatch per failure; periodic redid up "
+          f"to a full checkpoint interval "
+          f"(JIT wasted {jit['wasted_time']['mean']:.1f}s vs periodic "
+          f"{periodic['wasted_time']['mean']:.1f}s mean per campaign)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,63 @@
+"""Content-addressed disk cache for scenario results.
+
+One JSON file per scenario, named by the scenario's content hash
+(configuration + package version, see
+:meth:`~repro.campaign.spec.ScenarioSpec.content_hash`).  Writes are
+atomic (tmp file + rename) so a campaign killed mid-write never leaves a
+truncated entry behind, and concurrent workers publishing the same hash
+simply race to an identical file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+
+class ResultCache:
+    """Disk-backed scenario-result store keyed by content hash."""
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached result for *key*, or None on miss."""
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # A corrupt entry (e.g. partial copy from elsewhere) is a miss;
+            # the fresh result will overwrite it.
+            return None
+
+    def put(self, key: str, result: dict) -> Path:
+        """Atomically persist *result* under *key*."""
+        path = self.path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(result, handle, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,299 @@
+"""Scenario execution and the parallel campaign engine.
+
+:func:`execute_scenario` runs one :class:`~repro.campaign.spec.ScenarioSpec`
+to a plain-JSON result dict — it is a module-level function taking only a
+picklable spec, so :class:`CampaignRunner` can fan scenarios out over a
+``ProcessPoolExecutor``.
+
+Result dicts split into two sections:
+
+``metrics``
+    Deterministic simulation outputs (restarts, wasted time, goodput,
+    loss digest, ...).  These depend only on the scenario configuration,
+    so serial and parallel campaign runs aggregate byte-identically.
+``perf``
+    Wall-clock measurements (events dispatched, events/sec).  These vary
+    run to run and are reported as telemetry, never aggregated into
+    table results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import KIND_ANALYTIC, CampaignSpec, ScenarioSpec
+from repro.core.telemetry import CampaignPerf
+
+#: Hard floor on scenario workers (``workers=None`` means "all cores").
+_MIN_WORKERS = 1
+
+
+def _resolve_workload(spec: ScenarioSpec):
+    from repro.hardware.specs import NODE_SPECS
+    from repro.workloads.catalog import WORKLOADS
+
+    workload = WORKLOADS[spec.workload]
+    overrides = {}
+    if spec.node is not None:
+        overrides["node_spec"] = NODE_SPECS[spec.node]
+    if spec.minibatch_time is not None:
+        overrides["minibatch_time"] = spec.minibatch_time
+    if overrides:
+        workload = dataclasses.replace(workload, **overrides)
+    return workload
+
+
+def _losses_digest(losses) -> str:
+    """Bit-exact digest of a loss stream (the semantics-preservation check)."""
+    return hashlib.sha256(
+        np.asarray(losses, dtype=np.float64).tobytes()).hexdigest()[:16]
+
+
+def _type_mix(spec: ScenarioSpec):
+    from repro.failures import FailureType
+
+    return tuple((FailureType[name], weight) for name, weight in spec.type_mix)
+
+
+def _periodic_interval_iterations(workload, spec: ScenarioSpec) -> int:
+    """Analytically optimal periodic interval (Section 5, equation 3)."""
+    from repro.analysis import CalibratedParameters, optimal_checkpoint_frequency
+
+    params = CalibratedParameters.from_spec(
+        workload,
+        failure_rate_per_gpu_per_day=spec.failure_rate * 86400).params
+    c_star = optimal_checkpoint_frequency(workload.world_size,
+                                          params.failure_rate,
+                                          params.checkpoint_overhead)
+    return max(1, int(round(1 / c_star / workload.minibatch_time)))
+
+
+def _execute_campaign_scenario(spec: ScenarioSpec) -> dict:
+    from repro.cluster.worker import InitCosts
+    from repro.core import UserLevelJitRunner
+    from repro.core.periodic import CheckpointMode, PeriodicPolicy, PeriodicRunner
+    from repro.failures import FailureInjector, PoissonSchedule
+    from repro.sim import Environment
+    from repro.storage import SharedObjectStore
+    from repro.workloads import TrainingJob
+
+    workload = _resolve_workload(spec)
+    start = time.perf_counter()
+
+    # Ideal failure-free reference: wall-time baseline for wasted-time
+    # accounting plus the loss stream the managed run must reproduce.
+    reference_job = TrainingJob(workload)
+    reference_losses = reference_job.run_training(spec.target_iterations)[0]
+    ideal_time = reference_job.env.now
+    reference_events = reference_job.env.events_processed
+
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=spec.store_bandwidth)
+    init_costs = (InitCosts(*spec.init_costs)
+                  if spec.init_costs is not None else None)
+    interval_iterations: Optional[int] = None
+    if spec.policy == "periodic":
+        interval_iterations = _periodic_interval_iterations(workload, spec)
+        runner = PeriodicRunner(
+            env, workload, store,
+            target_iterations=spec.target_iterations,
+            policy=PeriodicPolicy(CheckpointMode.PC_MEM, interval_iterations),
+            init_costs=init_costs,
+            progress_timeout=spec.progress_timeout)
+    else:
+        runner = UserLevelJitRunner(
+            env, workload, store,
+            target_iterations=spec.target_iterations,
+            init_costs=init_costs,
+            progress_timeout=spec.progress_timeout)
+
+    schedule = PoissonSchedule(
+        runner.manager.cluster, spec.failure_rate, horizon=spec.horizon,
+        seed=spec.seed, type_mix=_type_mix(spec))
+    FailureInjector(env, runner.manager.cluster).arm(schedule)
+    report = runner.execute()
+    wall = time.perf_counter() - start
+
+    total = report.total_time
+    wasted = total - ideal_time
+    events = reference_events + env.events_processed
+    return {
+        "scenario": spec.config(),
+        "scenario_id": spec.scenario_id,
+        "metrics": {
+            "completed": report.completed,
+            "total_time": total,
+            "ideal_time": ideal_time,
+            "wasted_time": wasted,
+            "wasted_fraction": wasted / total if total else 0.0,
+            "goodput": ideal_time / total if total else 0.0,
+            "restarts": report.restarts,
+            "failures": report.failures_observed,
+            "losses_digest": _losses_digest(report.final_losses),
+            "reference_digest": _losses_digest(reference_losses),
+            "interval_iterations": interval_iterations,
+        },
+        "perf": {
+            "events": events,
+            "wall_seconds": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        },
+    }
+
+
+def _execute_analytic_scenario(spec: ScenarioSpec) -> dict:
+    """One Table 8 row: closed-form Section 5 wasted-time at N GPUs."""
+    from repro.analysis import (
+        CalibratedParameters,
+        CostParameters,
+        jit_transparent_wasted_per_gpu,
+        jit_user_level_wasted_per_gpu,
+        optimal_checkpoint_frequency,
+        periodic_wasted_per_gpu,
+        wasted_fraction,
+    )
+
+    workload = _resolve_workload(spec)
+    start = time.perf_counter()
+    params = CalibratedParameters.from_spec(workload).params
+    transparent_params = CostParameters(
+        checkpoint_overhead=params.checkpoint_overhead,
+        failure_rate=params.failure_rate,
+        fixed_recovery=0.0,     # CPU process survives: no re-init (Sec 5.5)
+        minibatch_time=params.minibatch_time)
+    n = spec.n_gpus
+    c_star = optimal_checkpoint_frequency(n, params.failure_rate,
+                                          params.checkpoint_overhead)
+    wall = time.perf_counter() - start
+    return {
+        "scenario": spec.config(),
+        "scenario_id": spec.scenario_id,
+        "metrics": {
+            "n": n,
+            "c_star_per_hr": c_star * 3600,
+            "periodic": wasted_fraction(periodic_wasted_per_gpu(n, params)),
+            "user_jit": wasted_fraction(
+                jit_user_level_wasted_per_gpu(n, params)),
+            "transparent": wasted_fraction(
+                jit_transparent_wasted_per_gpu(n, transparent_params)),
+        },
+        "perf": {"events": 0, "wall_seconds": wall, "events_per_sec": 0.0},
+    }
+
+
+def execute_scenario(spec: ScenarioSpec) -> dict:
+    """Run one scenario to a plain-JSON result dict (picklable entry point)."""
+    if spec.kind == KIND_ANALYTIC:
+        return _execute_analytic_scenario(spec)
+    return _execute_campaign_scenario(spec)
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's result plus where it came from."""
+
+    spec: ScenarioSpec
+    result: dict
+    from_cache: bool
+
+    @property
+    def metrics(self) -> dict:
+        return self.result["metrics"]
+
+
+@dataclass
+class CampaignResult:
+    """Ordered outcomes of one campaign run plus engine telemetry."""
+
+    campaign: CampaignSpec
+    outcomes: list[ScenarioOutcome]
+    perf: CampaignPerf = field(default_factory=CampaignPerf)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.perf.cache_hits
+
+    @property
+    def executed(self) -> int:
+        return self.perf.cache_misses
+
+    def rows(self) -> list[dict]:
+        """Scenario results in campaign order (determinism anchor)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def aggregate(self) -> list[dict]:
+        from repro.campaign.aggregate import aggregate_results
+
+        return aggregate_results(self.rows())
+
+
+class CampaignRunner:
+    """Fans a campaign's scenarios out over processes, with result caching.
+
+    ``workers=1`` executes inline (no pool); ``workers=None`` uses every
+    core.  Results are keyed by scenario content hash, so a second run of
+    an unchanged campaign executes zero scenarios.  Scenario *results* are
+    deterministic functions of their spec; only dispatch order varies with
+    the worker count, and outcomes are always reassembled in campaign
+    order.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 workers: Optional[int] = None):
+        import os
+
+        self.cache = cache
+        self.workers = max(_MIN_WORKERS, workers if workers is not None
+                           else (os.cpu_count() or 1))
+
+    def run(self, campaign: CampaignSpec) -> CampaignResult:
+        start = time.perf_counter()
+        perf = CampaignPerf()
+        results: dict[int, dict] = {}
+        cached: dict[int, bool] = {}
+        pending: list[tuple[int, ScenarioSpec]] = []
+
+        for index, spec in enumerate(campaign.scenarios):
+            hit = (self.cache.get(spec.content_hash())
+                   if self.cache is not None else None)
+            if hit is not None:
+                results[index] = hit
+                cached[index] = True
+                perf.cache_hits += 1
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            perf.cache_misses = len(pending)
+            fresh = self._execute(pending)
+            for (index, spec), result in zip(pending, fresh):
+                results[index] = result
+                cached[index] = False
+                perf.record_run(spec.scenario_id,
+                                result["perf"]["events"],
+                                result["perf"]["wall_seconds"])
+                if self.cache is not None:
+                    self.cache.put(spec.content_hash(), result)
+
+        perf.wall_seconds = time.perf_counter() - start
+        outcomes = [ScenarioOutcome(spec, results[i], cached[i])
+                    for i, spec in enumerate(campaign.scenarios)]
+        return CampaignResult(campaign=campaign, outcomes=outcomes, perf=perf)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _execute(self, pending: list[tuple[int, ScenarioSpec]]) -> list[dict]:
+        specs = [spec for _index, spec in pending]
+        if self.workers == 1 or len(specs) == 1:
+            return [execute_scenario(spec) for spec in specs]
+        max_workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(execute_scenario, specs))

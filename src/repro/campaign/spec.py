@@ -1,0 +1,148 @@
+"""Scenario and campaign-grid specifications.
+
+A :class:`ScenarioSpec` is one self-contained, picklable unit of
+evaluation work — either a simulated failure campaign (a workload run to
+completion under a Poisson failure schedule, the paper's Tables 4-7 /
+Section 6 methodology) or an analytic Section 5 evaluation (a Table 8
+row).  A :class:`CampaignSpec` is an ordered grid of scenarios.
+
+Scenarios are content-hashed (configuration plus package version) so the
+:class:`~repro.campaign.cache.ResultCache` can serve re-runs of unchanged
+scenarios for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import repro
+
+#: Default failure mix for campaign scenarios: the recoverable single-GPU
+#: classes (whole-node crashes need the JIT+periodic combo and replica
+#: survivors; targeted experiments opt into them explicitly).
+DEFAULT_CAMPAIGN_MIX: tuple[tuple[str, float], ...] = (
+    ("GPU_HARD", 0.4),
+    ("GPU_STICKY", 0.4),
+    ("GPU_DRIVER_CORRUPT", 0.2),
+)
+
+#: Recognised ``ScenarioSpec.kind`` values.
+KIND_CAMPAIGN = "campaign"
+KIND_ANALYTIC = "analytic"
+
+#: Recognised campaign policies.
+POLICIES = ("user_jit", "periodic")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of a campaign grid.
+
+    ``workload`` names a catalogue entry (:data:`repro.workloads.WORKLOADS`);
+    ``node`` / ``minibatch_time`` optionally override it so benchmark
+    variants (e.g. the cross-validation workload) stay expressible without
+    a separate registry in worker processes.
+    """
+
+    kind: str = KIND_CAMPAIGN
+    workload: str = "GPT2-S"
+    policy: str = "user_jit"
+    seed: int = 0
+    target_iterations: int = 100
+    #: Failures per GPU per second (exaggerated vs real clusters so short
+    #: simulated runs observe failures, as in the paper's experiments).
+    failure_rate: float = 1.0 / 160.0
+    horizon: float = 2000.0
+    #: (FailureType name, weight) pairs — names, not enum members, so the
+    #: spec canonicalises to JSON.
+    type_mix: tuple[tuple[str, float], ...] = DEFAULT_CAMPAIGN_MIX
+    progress_timeout: float = 20.0
+    store_bandwidth: float = 1.5e9
+    #: Optional workload overrides (see class docstring).
+    node: Optional[str] = None
+    minibatch_time: Optional[float] = None
+    #: Optional (process_start, framework_init, data_prep) restart costs.
+    init_costs: Optional[tuple[float, float, float]] = None
+    #: Analytic scenarios only: the GPU count N of the Table 8 row.
+    n_gpus: int = 0
+
+    def __post_init__(self):
+        from repro.workloads.catalog import WORKLOADS
+
+        if self.kind not in (KIND_CAMPAIGN, KIND_ANALYTIC):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from "
+                f"{sorted(WORKLOADS)}")
+        if self.kind == KIND_CAMPAIGN and self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown campaign policy {self.policy!r}; choose from {POLICIES}")
+        if self.kind == KIND_ANALYTIC and self.n_gpus < 1:
+            raise ValueError("analytic scenarios need n_gpus >= 1")
+
+    @property
+    def scenario_id(self) -> str:
+        """Short human-readable identity (not the cache key)."""
+        if self.kind == KIND_ANALYTIC:
+            return f"{self.workload}/analytic/N{self.n_gpus}"
+        return f"{self.workload}/{self.policy}/seed{self.seed}"
+
+    def config(self) -> dict:
+        """Canonical JSON-ready description of this scenario."""
+        out = dataclasses.asdict(self)
+        out["type_mix"] = [list(pair) for pair in self.type_mix]
+        if self.init_costs is not None:
+            out["init_costs"] = list(self.init_costs)
+        return out
+
+    def content_hash(self) -> str:
+        """Cache key: scenario configuration plus the package version.
+
+        Bumping ``repro.__version__`` therefore invalidates every cached
+        result, which is the correct default when simulator behaviour may
+        have changed.
+        """
+        payload = json.dumps({"scenario": self.config(),
+                              "version": repro.__version__},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered grid of scenarios evaluated (and aggregated) together."""
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+
+    def __post_init__(self):
+        hashes = [s.content_hash() for s in self.scenarios]
+        if len(set(hashes)) != len(hashes):
+            raise ValueError(f"campaign {self.name!r} contains duplicate scenarios")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @classmethod
+    def grid(cls, name: str, *, workloads: Iterable[str],
+             policies: Iterable[str] = ("user_jit",),
+             seeds: Iterable[int] = (0,), **common) -> "CampaignSpec":
+        """Expand a workload x policy x seed grid in deterministic order."""
+        scenarios = tuple(
+            ScenarioSpec(workload=w, policy=p, seed=s, **common)
+            for w in workloads for p in policies for s in seeds)
+        return cls(name=name, scenarios=scenarios)
+
+    @classmethod
+    def analytic_grid(cls, name: str, *, workloads: Iterable[str],
+                      gpu_counts: Iterable[int], **common) -> "CampaignSpec":
+        """Grid of closed-form Section 5 evaluations (Table 8 rows)."""
+        scenarios = tuple(
+            ScenarioSpec(kind=KIND_ANALYTIC, workload=w, n_gpus=n, **common)
+            for w in workloads for n in gpu_counts)
+        return cls(name=name, scenarios=scenarios)

@@ -26,7 +26,13 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.core.config import JitConfig
-from repro.core.replay_log import ApiRecord, Phase, ReplayLog
+from repro.core.replay_log import (
+    ApiRecord,
+    Phase,
+    ReplayLog,
+    restore_contents,
+    snapshot_contents,
+)
 from repro.core.virtual_handles import VirtualBuffer, VirtualEvent, VirtualStream
 from repro.core.watchdog import EventWatchdog, WatchedEvent
 from repro.cuda.errors import CudaApiError, CudaError
@@ -203,7 +209,7 @@ class DeviceProxyApi(DeviceApi):
         self.vbuffers[vbuf.vid] = vbuf
         self.log.append(ApiRecord(
             "malloc", args=(vbuf,), phase=self.phase,
-            initial_contents=vbuf.array.copy(), produced=vbuf))
+            initial_contents=snapshot_contents(vbuf.array), produced=vbuf))
         self._bind_buffer(vbuf)
         return vbuf
 
@@ -480,7 +486,7 @@ class DeviceProxyApi(DeviceApi):
         method = record.method
         if method == "malloc":
             vbuf = record.produced
-            vbuf.array[...] = record.initial_contents
+            restore_contents(vbuf.array, record.initial_contents)
             self.vbuffers[vbuf.vid] = vbuf
             vbuf.freed = False
             if vbuf.physical is None:
@@ -591,7 +597,8 @@ class DeviceProxyApi(DeviceApi):
             for record in list(self.log.records):
                 if record.method == "malloc":
                     def reinit(record=record):
-                        record.produced.array[...] = record.initial_contents
+                        restore_contents(record.produced.array,
+                                         record.initial_contents)
 
                     self.launch_kernel(stream, "validation:reinit", 0.0,
                                        reinit)

@@ -23,7 +23,36 @@ class Phase(enum.Enum):
     POST_OPTIMIZER = "post_optimizer"
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
+class ZeroFill:
+    """Snapshot stand-in for an all-zero allocation.
+
+    Freshly malloc'd training buffers (gradients, comm scratch) are almost
+    always zero-initialised; storing shape/dtype instead of a deep copy
+    keeps the replay log's memory footprint proportional to the number of
+    *non-trivial* allocations.
+    """
+
+    shape: tuple
+    dtype: np.dtype
+
+
+def snapshot_contents(array: np.ndarray) -> "np.ndarray | ZeroFill":
+    """Capture what replay needs to re-initialise *array* exactly."""
+    if not array.any():
+        return ZeroFill(array.shape, array.dtype)
+    return array.copy()
+
+
+def restore_contents(array: np.ndarray, snapshot: "np.ndarray | ZeroFill") -> None:
+    """Re-initialise *array* in place from a :func:`snapshot_contents`."""
+    if type(snapshot) is ZeroFill:
+        array[...] = 0
+    else:
+        array[...] = snapshot
+
+
+@dataclass(slots=True)
 class ApiRecord:
     """One logged device API call."""
 
@@ -32,9 +61,10 @@ class ApiRecord:
     kwargs: dict = field(default_factory=dict)
     phase: Phase = Phase.FORWARD_BACKWARD
     minibatch: int = -1
-    #: malloc only: deep copy of the initial contents, so replay can
-    #: re-initialise the (reused) array exactly.
-    initial_contents: Optional[np.ndarray] = None
+    #: malloc only: snapshot of the initial contents (deep copy, or a
+    #: :class:`ZeroFill` marker for zero-initialised buffers), so replay
+    #: can re-initialise the (reused) array exactly.
+    initial_contents: "Optional[np.ndarray | ZeroFill]" = None
     #: The virtual handle the original call returned (malloc/create_*).
     produced: Any = None
 

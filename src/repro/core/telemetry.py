@@ -3,6 +3,11 @@
 Every recovery (user-level or transparent) appends a
 :class:`RecoveryRecord`; per-phase timings use ``begin``/``end`` marks so
 benchmarks can reproduce the paper's step breakdown (Table 7).
+
+This module also carries the *simulator's own* performance telemetry:
+:class:`SimThroughput` (events dispatched per wall-clock second of one
+run) and :class:`CampaignPerf` (throughput plus cache hit-rate across a
+:class:`~repro.campaign.runner.CampaignRunner` sweep).
 """
 
 from __future__ import annotations
@@ -51,6 +56,61 @@ class RecoveryRecord:
         for span in self.phases:
             out[span.name] = out.get(span.name, 0.0) + span.duration
         return out
+
+
+@dataclass(frozen=True)
+class SimThroughput:
+    """Kernel throughput of one simulation run (wall clock, not sim time)."""
+
+    label: str
+    events: int
+    wall_seconds: float
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf") if self.events else 0.0
+        return self.events / self.wall_seconds
+
+
+@dataclass
+class CampaignPerf:
+    """Performance telemetry for one campaign sweep.
+
+    ``runs`` holds one :class:`SimThroughput` per scenario actually
+    executed; cache hits contribute to the hit-rate but not to throughput
+    (no simulation ran for them).
+    """
+
+    runs: list[SimThroughput] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+    def record_run(self, label: str, events: int, wall_seconds: float) -> None:
+        self.runs.append(SimThroughput(label, events, wall_seconds))
+
+    @property
+    def total_events(self) -> int:
+        return sum(run.events for run in self.runs)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_events_per_sec(self) -> float:
+        """Mean per-run throughput (unweighted across executed scenarios)."""
+        if not self.runs:
+            return 0.0
+        return sum(run.events_per_sec for run in self.runs) / len(self.runs)
+
+    def describe(self) -> str:
+        executed = len(self.runs)
+        return (f"{executed} executed / {self.cache_hits} cached "
+                f"({100 * self.cache_hit_rate:.0f}% hit rate), "
+                f"{self.mean_events_per_sec:,.0f} events/s mean per run")
 
 
 class RecoveryTelemetry:

@@ -15,6 +15,8 @@ from repro.sim.core import Environment, Event, SimulationError
 class Condition(Event):
     """Base class: fires when ``_check`` says enough sub-events triggered."""
 
+    __slots__ = ("events", "_count")
+
     def __init__(self, env: Environment, events: list[Event], name: str = ""):
         super().__init__(env, name=name)
         self.events = list(events)
@@ -60,12 +62,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Triggers as soon as the first sub-event triggers."""
 
+    __slots__ = ()
+
     def _check(self) -> bool:
         return self._count >= 1
 
 
 class AllOf(Condition):
     """Triggers once every sub-event has triggered."""
+
+    __slots__ = ()
 
     def _check(self) -> bool:
         return self._count >= len(self.events)

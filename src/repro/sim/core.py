@@ -1,8 +1,27 @@
-"""Core event loop, events, processes and timeouts."""
+"""Core event loop, events, processes and timeouts.
+
+This module is the hottest path in the whole reproduction: every simulated
+CUDA kernel, NCCL collective, checkpoint write and failure is an
+:class:`Event` flowing through :meth:`Environment.run`.  The implementation
+therefore trades a little readability for speed:
+
+* every kernel class declares ``__slots__`` (no per-instance ``__dict__``),
+* event names are lazy — debug aids only, never built on the hot path,
+* :class:`Timeout` objects are recycled through a per-environment free list
+  (a dispatched timeout with no remaining references is reused by the next
+  ``env.timeout()`` call instead of being reallocated),
+* the schedule/dispatch path is inlined in :meth:`Environment.run` rather
+  than bouncing through ``step()`` per event.
+
+``benchmarks/bench_simulator_perf.py`` measures this file; run
+``benchmarks/run_perf_baseline.py`` to refresh ``BENCH_simulator.json``
+after touching it.
+"""
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 PRIORITY_URGENT = 0
@@ -11,6 +30,11 @@ PRIORITY_LOW = 2
 
 #: Sentinel stored in ``Event._value`` while the event is untriggered.
 _PENDING = object()
+
+#: Upper bound on the per-environment ``Timeout`` free list.
+_TIMEOUT_POOL_LIMIT = 4096
+
+_getrefcount = sys.getrefcount
 
 
 class SimulationError(Exception):
@@ -42,13 +66,23 @@ class Event:
     it is *processed* once its callbacks have run.
     """
 
+    __slots__ = ("env", "_name", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
-        self.name = name
+        self._name = name
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     @property
     def triggered(self) -> bool:
@@ -71,7 +105,7 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
@@ -79,7 +113,7 @@ class Event:
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -98,16 +132,36 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Construction is inlined (no ``Event.__init__`` / ``_schedule`` calls)
+    and the name is computed lazily in :attr:`name` — timeouts are by far
+    the most frequently created kernel object.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None,
                  priority: int = PRIORITY_NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env, name=f"timeout({delay})")
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, priority=priority, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._delay = delay
+        seq = env._seq + 1
+        env._seq = seq
+        heappush(env._queue, (env._now + delay, priority, seq, self))
+
+    @property
+    def name(self) -> str:  # pragma: no cover - debug aid
+        return f"timeout({self._delay})"
+
+    @property
+    def delay(self) -> float:
+        return self._delay
 
 
 class Process(Event):
@@ -118,22 +172,27 @@ class Process(Event):
     the exception is thrown into the generator.
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         if not hasattr(generator, "throw"):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         self._generator = generator
         self._target: Optional[Event] = None
+        #: Cached bound method: one allocation per process instead of one
+        #: per wait (``callbacks.append(self._resume)`` otherwise rebinds).
+        self._resume_cb = self._resume
         # Kick the process off via an already-succeeded initialisation event.
-        init = Event(env, name=f"init:{self.name}")
+        init = Event(env)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         env._schedule(init, priority=PRIORITY_URGENT)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     @property
     def target(self) -> Optional[Event]:
@@ -142,7 +201,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield."""
-        if not self.is_alive:
+        if self._value is not _PENDING:
             return
         self.env._schedule_interrupt(self, Interrupt(cause))
 
@@ -153,7 +212,7 @@ class Process(Event):
         OS process.  A killed process's completion event *succeeds* with
         ``None`` (the death is expected, not an error of the simulation).
         """
-        if not self.is_alive:
+        if self._value is not _PENDING:
             return
         self.env._schedule_interrupt(self, ProcessKilled())
 
@@ -161,25 +220,34 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of *event*."""
-        if self.triggered:
+        if self._value is not _PENDING:
             # The process already finished (e.g. it aborted itself and a
             # late interrupt arrives): nothing to resume.
             return
-        self._detach_from_target()
-        self.env._active_process = self
+        target = self._target
+        if target is not None:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:
+                    pass
+            self._target = None
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         try:
             while True:
                 try:
                     if event._ok:
-                        next_target = self._generator.send(event._value)
+                        next_target = generator.send(event._value)
                     else:
                         event._defused = True
-                        next_target = self._generator.throw(event._value)
+                        next_target = generator.throw(event._value)
                 except StopIteration as stop:
                     self._finish(ok=True, value=stop.value)
                     return
                 except ProcessKilled:
-                    self._generator.close()
+                    generator.close()
                     self._finish(ok=True, value=None)
                     return
                 except BaseException as exc:
@@ -189,22 +257,23 @@ class Process(Event):
                 if not isinstance(next_target, Event):
                     exc = SimulationError(
                         f"process {self.name!r} yielded {next_target!r}, expected an Event")
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                     raise exc
-                if next_target.processed:
+                callbacks = next_target.callbacks
+                if callbacks is None:
                     # Already-processed events resume the generator in place.
                     event = next_target
                     continue
-                next_target.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_target
                 return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
     def _detach_from_target(self) -> None:
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -222,11 +291,17 @@ class Process(Event):
 class Environment:
     """The simulation environment: clock plus ordered event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_timeout_pool",
+                 "_processed")
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Recycled Timeout instances (see ``timeout()`` / ``run()``).
+        self._timeout_pool: list[Timeout] = []
+        self._processed = 0
 
     @property
     def now(self) -> float:
@@ -236,12 +311,29 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched so far (simulator throughput telemetry)."""
+        return self._processed
+
     # -- public factory helpers --------------------------------------------
 
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._delay = delay
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, seq, timeout))
+            return timeout
         return Timeout(self, delay, value=value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -261,35 +353,49 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
                   delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def _schedule_interrupt(self, process: Process, exc: BaseException) -> None:
         """Deliver *exc* to *process* as an urgent synthetic event."""
-        carrier = Event(self, name=f"interrupt:{process.name}")
+        carrier = Event(self)
         carrier._ok = False
         carrier._value = exc
         carrier._defused = True
         # Detach the process from whatever it currently waits on so the
         # original event no longer resumes it.
         process._detach_from_target()
-        carrier.callbacks.append(process._resume)
+        carrier.callbacks.append(process._resume_cb)
         self._schedule(carrier, priority=PRIORITY_URGENT)
 
     # -- execution ----------------------------------------------------------
+    #
+    # Timeout recycling: after a timeout's callbacks have run, if nothing
+    # else references it (the dispatch loop's local plus ``getrefcount``'s
+    # own argument are the only two references) it is returned to the free
+    # list for ``timeout()`` to reuse.  A timeout that a condition, process
+    # or user variable still holds keeps a higher refcount and is simply
+    # left for the garbage collector.
 
     def step(self) -> None:
         """Process the next event in the queue."""
         if not self._queue:
             raise SimulationError("step() on an empty queue")
-        time, _priority, _seq, event = heapq.heappop(self._queue)
+        time, _priority, _seq, event = heappop(self._queue)
         if time < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = time
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event._defused:
+        self._processed += 1
+        if event._ok:
+            if (type(event) is Timeout and _getrefcount(event) == 2
+                    and len(self._timeout_pool) < _TIMEOUT_POOL_LIMIT):
+                event._value = None
+                self._timeout_pool.append(event)
+        elif not event._defused:
             raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -314,8 +420,29 @@ class Environment:
                 raise stop_event._value
             return stop_event._value
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # Inlined dispatch loop: identical semantics to step() minus the
+        # impossible scheduled-in-the-past check (_schedule never rewinds).
+        queue = self._queue
+        pool = self._timeout_pool
+        processed = self._processed
+        try:
+            while queue and queue[0][0] <= deadline:
+                time, _priority, _seq, event = heappop(queue)
+                self._now = time
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                processed += 1
+                if event._ok:
+                    if (type(event) is Timeout and _getrefcount(event) == 2
+                            and len(pool) < _TIMEOUT_POOL_LIMIT):
+                        event._value = None
+                        pool.append(event)
+                elif not event._defused:
+                    raise event._value
+        finally:
+            self._processed = processed
         if until is not None:
             self._now = max(self._now, deadline)
         return None

@@ -36,7 +36,8 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires once a slot is held by the caller."""
-        event = self.env.event(name=f"acquire:{self.name}")
+        # No f-string name: acquire events are hot-path debug aids only.
+        event = Event(self.env)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             event.succeed(self)
@@ -82,7 +83,7 @@ class Mailbox:
 
     def get(self) -> Event:
         """Return an event that fires with the next message."""
-        event = self.env.event(name=f"get:{self.name}")
+        event = Event(self.env)
         if self._items:
             event.succeed(self._items.popleft())
         else:

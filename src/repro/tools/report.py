@@ -7,7 +7,9 @@ Usage::
     python -m repro.tools.report table8 s51 recommend
 
 Everything here is closed-form (Section 5 equations over the calibrated
-hardware model); the simulation-backed tables (4-7) live in
+hardware model), except the ``perf`` section, which exercises the
+simulator kernel and the campaign engine for real to report events/sec
+and cache hit-rate; the simulation-backed tables (4-7) live in
 ``benchmarks/`` because they execute failures end to end.
 """
 
@@ -106,11 +108,52 @@ def report_recommendation() -> None:
                   f"expected waste {100 * rec.expected_wasted_fraction:.3f}%)")
 
 
+def report_perf() -> None:
+    """Simulator kernel throughput and campaign-engine cache behaviour."""
+    import tempfile
+    import time
+
+    from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+    from repro.sim import Environment
+
+    print("\nSimulator performance — kernel events/sec and campaign "
+          "engine cache hit-rate")
+    _rule()
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env = Environment()
+    for _ in range(4):
+        env.process(ticker(env, 2500))
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    print(f"kernel event loop: {env.events_processed} events in "
+          f"{wall * 1e3:.1f} ms -> {env.events_processed / wall:,.0f} events/s")
+
+    campaign = CampaignSpec.grid(
+        "report-perf", workloads=["GPT2-S"], policies=["user_jit"],
+        seeds=[0, 1], target_iterations=12, failure_rate=1.0 / 30.0,
+        horizon=100.0, minibatch_time=0.1, init_costs=(0.5, 0.25, 0.25),
+        progress_timeout=10.0)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = CampaignRunner(cache=ResultCache(cache_dir), workers=1)
+        cold = runner.run(campaign)
+        warm = runner.run(campaign)
+    print(f"campaign engine (cold): {cold.perf.describe()}")
+    print(f"campaign engine (warm): {warm.perf.describe()}")
+    print("(see BENCH_simulator.json for the tracked per-bench baseline; "
+          "refresh with benchmarks/run_perf_baseline.py)")
+
+
 SECTIONS = {
     "table3": report_table3,
     "table8": report_table8,
     "s51": report_s51,
     "recommend": report_recommendation,
+    "perf": report_perf,
 }
 
 

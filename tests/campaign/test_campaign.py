@@ -1,0 +1,203 @@
+"""Campaign engine: determinism, caching, and aggregation.
+
+The headline guarantee (ISSUE acceptance criterion): an 8-scenario
+campaign produces byte-identical aggregated results whether it runs
+serially, across 4 worker processes, or entirely from a warm cache —
+and the warm rerun executes zero scenarios.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultCache,
+    ScenarioSpec,
+    aggregate_results,
+    canonical_json,
+    execute_scenario,
+    percentile,
+)
+
+
+def small_campaign(name="determinism"):
+    """8 scenarios (2 policies x 4 seeds), sized for a ~1s/scenario run."""
+    return CampaignSpec.grid(
+        name,
+        workloads=["GPT2-S"],
+        policies=["user_jit", "periodic"],
+        seeds=[0, 1, 2, 3],
+        target_iterations=15,
+        failure_rate=1.0 / 25.0,
+        horizon=150.0,
+        minibatch_time=0.1,
+        init_costs=(0.5, 0.25, 0.25),
+        progress_timeout=10.0,
+        type_mix=(("GPU_HARD", 0.5), ("GPU_STICKY", 0.5)),
+    )
+
+
+def test_serial_parallel_and_cached_aggregates_are_byte_identical(tmp_path):
+    campaign = small_campaign()
+    assert len(campaign) == 8
+
+    serial = CampaignRunner(cache=None, workers=1).run(campaign)
+    parallel = CampaignRunner(cache=None, workers=4).run(campaign)
+
+    cache = ResultCache(tmp_path / "cache")
+    cold = CampaignRunner(cache=cache, workers=2).run(campaign)
+    warm = CampaignRunner(cache=cache, workers=2).run(campaign)
+
+    blobs = {canonical_json(run.aggregate())
+             for run in (serial, parallel, cold, warm)}
+    assert len(blobs) == 1, "aggregates diverged across execution modes"
+
+    # Outcome rows come back in campaign order regardless of which worker
+    # finished first.
+    for run in (serial, parallel, cold, warm):
+        assert [o.spec.scenario_id for o in run.outcomes] == \
+            [s.scenario_id for s in campaign.scenarios]
+
+    # The warm rerun is served entirely from cache.
+    assert cold.perf.cache_hits == 0
+    assert cold.perf.cache_misses == 8
+    assert warm.executed == 0
+    assert warm.perf.cache_hits == 8
+    assert warm.perf.cache_hit_rate == 1.0
+
+
+def test_campaign_runs_preserve_training_semantics(tmp_path):
+    result = CampaignRunner(cache=None, workers=1).run(
+        small_campaign("semantics"))
+    digests = set()
+    for outcome in result.outcomes:
+        metrics = outcome.metrics
+        assert metrics["completed"], outcome.spec.scenario_id
+        # Recovery must be semantics-preserving: the loss stream matches
+        # the failure-free reference bit for bit.
+        assert metrics["losses_digest"] == metrics["reference_digest"]
+        digests.add(metrics["losses_digest"])
+    # Same workload + iterations -> one digest across policies and seeds.
+    assert len(digests) == 1
+
+
+# -- spec hashing ----------------------------------------------------------------------
+
+
+def test_content_hash_is_stable_and_config_sensitive():
+    a = ScenarioSpec(seed=7)
+    b = ScenarioSpec(seed=7)
+    c = ScenarioSpec(seed=8)
+    assert a.content_hash() == b.content_hash()
+    assert a.content_hash() != c.content_hash()
+    # The hash covers the full config, not just the identity fields.
+    d = ScenarioSpec(seed=7, failure_rate=1.0 / 80.0)
+    assert a.scenario_id == d.scenario_id
+    assert a.content_hash() != d.content_hash()
+
+
+def test_campaign_rejects_duplicate_scenarios():
+    spec = ScenarioSpec(seed=1)
+    with pytest.raises(ValueError, match="duplicate"):
+        CampaignSpec(name="dup", scenarios=(spec, spec))
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        ScenarioSpec(workload="NOT-A-MODEL")
+    with pytest.raises(ValueError):
+        ScenarioSpec(policy="hope")
+    with pytest.raises(ValueError):
+        ScenarioSpec(kind="analytic")  # analytic requires n_gpus > 0
+
+
+# -- result cache ----------------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_corruption_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = ScenarioSpec(seed=3)
+    key = spec.content_hash()
+    assert cache.get(key) is None
+
+    payload = {"metrics": {"restarts": 2}, "scenario_id": spec.scenario_id}
+    cache.put(key, payload)
+    assert cache.get(key) == payload
+    assert key in cache and len(cache) == 1
+
+    cache.path(key).write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None  # corrupt entry degrades to a miss
+
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_invalidates_on_config_change(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = ScenarioSpec(seed=0, target_iterations=50)
+    cache.put(base.content_hash(), {"metrics": {}})
+    changed = ScenarioSpec(seed=0, target_iterations=51)
+    assert cache.get(changed.content_hash()) is None
+
+
+# -- aggregation -----------------------------------------------------------------------
+
+
+def test_percentile_matches_linear_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
+    assert percentile([5.0], 99) == 5.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_aggregate_results_groups_by_workload_and_policy():
+    def row(policy, seed, restarts):
+        return {
+            "scenario": {"kind": "campaign", "workload": "GPT2-S",
+                         "policy": policy, "seed": seed},
+            "metrics": {"completed": True, "failures": 1,
+                        "restarts": float(restarts), "wasted_time": 1.0,
+                        "wasted_fraction": 0.1, "goodput": 0.9,
+                        "losses_digest": "aaaa"},
+        }
+
+    rows = [row("user_jit", s, r) for s, r in enumerate((0, 2, 4))]
+    rows += [row("periodic", s, 1) for s in range(2)]
+
+    def by_group(aggregated):
+        return {(e["workload"], e["policy"]): e for e in aggregated}
+
+    summary = by_group(aggregate_results(rows))
+    jit = summary[("GPT2-S", "user_jit")]
+    assert jit["scenarios"] == 3
+    assert jit["restarts"]["mean"] == 2.0
+    assert jit["restarts"]["p50"] == 2.0
+    assert jit["completed"] is True
+    assert jit["losses_digest"] == "aaaa"
+    assert summary[("GPT2-S", "periodic")]["scenarios"] == 2
+
+    rows[0]["metrics"]["losses_digest"] = "bbbb"
+    diverged = by_group(aggregate_results(rows))
+    assert diverged[("GPT2-S", "user_jit")]["losses_digest"] == "DIVERGED"
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == \
+        canonical_json(json.loads('{"a": [2, 3], "b": 1}'))
+
+
+# -- analytic scenarios ----------------------------------------------------------------
+
+
+def test_analytic_scenario_executes_standalone():
+    spec = ScenarioSpec(kind="analytic", workload="BERT-L-PT", n_gpus=1024)
+    result = execute_scenario(spec)
+    metrics = result["metrics"]
+    assert metrics["n"] == 1024
+    assert 0 < metrics["user_jit"] < metrics["periodic"]
+    assert metrics["transparent"] < metrics["user_jit"]

@@ -1,0 +1,247 @@
+"""Ordering and fast-path invariants of the simulation kernel.
+
+The fast path (``__slots__``, lazy names, timeout free-list, inlined
+dispatch) must not change observable semantics: same-time same-priority
+events fire FIFO, interrupts never double-resume a process, and recycled
+timeouts never leak values between waits.
+"""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+# -- FIFO ordering ---------------------------------------------------------------------
+
+
+def test_same_time_same_priority_events_fire_fifo():
+    env = Environment()
+    order = []
+    events = [env.event(name=str(i)) for i in range(8)]
+
+    def waiter(event, label):
+        yield event
+        order.append(label)
+
+    for i, event in enumerate(events):
+        env.process(waiter(event, i))
+
+    def firer():
+        yield env.timeout(1.0)
+        # All succeed at the same sim time with the same priority: dispatch
+        # must follow scheduling (succeed) order exactly.
+        for event in events:
+            event.succeed()
+
+    env.process(firer())
+    env.run()
+    assert order == list(range(8))
+
+
+def test_same_delay_timeouts_fire_in_creation_order_across_recycling():
+    env = Environment()
+    order = []
+
+    def round_trip(label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    # First generation populates the free list, second generation reuses
+    # recycled Timeout objects: creation order must still win ties.
+    for label in range(5):
+        env.process(round_trip(label))
+    env.run()
+    for label in range(5, 10):
+        env.process(round_trip(label))
+    env.run()
+    assert order == list(range(10))
+
+
+# -- interrupt delivery ----------------------------------------------------------------
+
+
+def test_interrupt_after_target_triggered_does_not_double_resume():
+    """Target triggers, then an urgent interrupt overtakes its dispatch.
+
+    The interrupt detaches the process from the (already queued) target,
+    so when the target's callbacks finally run the process must not be
+    resumed a second time.
+    """
+    env = Environment()
+    log = []
+    trigger = env.event()
+
+    def victim():
+        try:
+            yield trigger
+            log.append("value")
+        except Interrupt:
+            log.append("interrupt")
+        yield env.timeout(1.0)
+        log.append("after")
+
+    proc = env.process(victim())
+
+    def driver():
+        yield env.timeout(2.0)
+        trigger.succeed("v")    # queued at t=2, normal priority
+        proc.interrupt("now")   # urgent carrier, dispatches first
+
+    env.process(driver())
+    env.run()
+    assert log == ["interrupt", "after"]
+    assert proc.triggered and proc.ok
+
+
+def test_interrupt_to_finished_process_is_noop():
+    env = Environment()
+    log = []
+
+    def victim():
+        yield env.timeout(5.0)
+        log.append("done")
+
+    proc = env.process(victim())
+
+    def interrupter():
+        yield env.timeout(5.0)  # fires after the victim's (earlier) timeout
+        proc.interrupt("too late")
+
+    env.process(interrupter())
+    env.run()
+    assert log == ["done"]
+    assert proc.ok and proc.value is None
+
+
+def test_interrupt_then_self_finish_swallows_queued_target():
+    """Process catches the interrupt and finishes; the original target's
+    later dispatch must not resurrect it."""
+    env = Environment()
+    log = []
+    holder = {}
+
+    def interrupter():
+        yield env.timeout(5.0)
+        holder["victim"].interrupt()
+
+    def victim():
+        try:
+            yield env.timeout(5.0)
+            log.append("timeout")
+        except Interrupt:
+            log.append("interrupt")
+        # returns: process finishes at t=5 while its timeout is queued
+
+    # The interrupter is created first, so its t=5 timeout dispatches
+    # before the victim's; the urgent interrupt carrier then overtakes
+    # the victim's still-queued timeout.
+    env.process(interrupter())
+    proc = holder["victim"] = env.process(victim())
+    env.run()
+    assert log == ["interrupt"]
+    assert proc.triggered and proc.ok
+
+
+# -- timeout free-list -----------------------------------------------------------------
+
+
+def test_recycled_timeouts_deliver_fresh_values():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for i in range(200):
+            value = yield env.timeout(1.0, value=i)
+            seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == list(range(200))
+    # Steady state reuses a tiny pool instead of 200 allocations.
+    assert 1 <= len(env._timeout_pool) <= 8
+
+
+def test_held_timeout_is_never_recycled():
+    env = Environment()
+    held = []
+
+    def proc():
+        keeper = env.timeout(1.0, value="keep")
+        yield keeper
+        held.append(keeper)
+        for _ in range(50):
+            fresh = yield env.timeout(1.0, value="fresh")
+            assert fresh == "fresh"
+
+    env.process(proc())
+    env.run()
+    assert held[0].value == "keep"          # untouched by the free list
+    assert held[0] not in env._timeout_pool
+
+
+def test_pooled_timeout_still_validates_negative_delay():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    assert env._timeout_pool  # the pool path is the one under test
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+# -- lazy names / slots ----------------------------------------------------------------
+
+
+def test_timeout_name_is_lazy_but_accurate():
+    env = Environment()
+    timeout = Timeout(env, 2.5)
+    assert timeout.name == "timeout(2.5)"
+    assert "timeout(2.5)" in repr(timeout)
+
+
+def test_event_and_process_names():
+    env = Environment()
+    assert env.event().name == ""
+    assert env.event(name="checkpoint").name == "checkpoint"
+
+    def my_proc():
+        yield env.timeout(0)
+
+    assert env.process(my_proc()).name == "my_proc"
+    assert env.process(my_proc(), name="override").name == "override"
+    env.run()
+
+
+def test_kernel_objects_have_no_instance_dict():
+    env = Environment()
+    t1, t2 = env.timeout(1.0), env.timeout(2.0)
+
+    def proc():
+        yield AnyOf(env, [t1, t2])
+
+    objects = [env.event(), t1, env.process(proc()), AnyOf(env, [t2])]
+    for obj in objects:
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+    env.run()
+
+
+def test_events_processed_counter_tracks_dispatch():
+    env = Environment()
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    # 10 timeouts + 1 process-init event + the process completion event.
+    assert env.events_processed == 12
