@@ -29,7 +29,8 @@ from typing import Optional
 import numpy as np
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.spec import KIND_ANALYTIC, CampaignSpec, ScenarioSpec
+from repro.campaign.spec import (KIND_ANALYTIC, KIND_ORACLE, ORACLE_WORKLOAD,
+                                 CampaignSpec, ScenarioSpec)
 from repro.core.telemetry import CampaignPerf
 
 #: Hard floor on scenario workers (``workers=None`` means "all cores").
@@ -189,10 +190,54 @@ def _execute_analytic_scenario(spec: ScenarioSpec) -> dict:
     }
 
 
+def _execute_oracle_scenario(spec: ScenarioSpec) -> dict:
+    """Recovery-equivalence checks for one strategy (fuzzed or replayed)."""
+    from repro.oracle import FailureSchedule, RecoveryOracle, default_oracle_spec
+
+    if spec.workload == ORACLE_WORKLOAD:
+        workload = default_oracle_spec(
+            minibatch_time=spec.minibatch_time or 0.05)
+    else:
+        workload = _resolve_workload(spec)
+    start = time.perf_counter()
+    oracle = RecoveryOracle(spec=workload,
+                            iterations=spec.target_iterations)
+    if spec.schedule is not None:
+        schedules = [FailureSchedule.from_json(spec.schedule)]
+    else:
+        schedules = list(oracle.fuzzer(spec.seed).schedules(spec.fuzz_count))
+    verdicts = [oracle.check(schedule, spec.strategy)
+                for schedule in schedules]
+    events = oracle.events_processed
+    wall = time.perf_counter() - start
+    failures = [v for v in verdicts if not v.passed]
+    return {
+        "scenario": spec.config(),
+        "scenario_id": spec.scenario_id,
+        "metrics": {
+            "strategy": spec.strategy,
+            "checks": len(verdicts),
+            "failures": len(failures),
+            "passed": not failures,
+            "outcomes": [v.outcome for v in verdicts],
+            "violations": [str(violation) for v in failures
+                           for violation in v.violations],
+            "failing_schedules": [v.schedule.to_json() for v in failures],
+        },
+        "perf": {
+            "events": events,
+            "wall_seconds": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        },
+    }
+
+
 def execute_scenario(spec: ScenarioSpec) -> dict:
     """Run one scenario to a plain-JSON result dict (picklable entry point)."""
     if spec.kind == KIND_ANALYTIC:
         return _execute_analytic_scenario(spec)
+    if spec.kind == KIND_ORACLE:
+        return _execute_oracle_scenario(spec)
     return _execute_campaign_scenario(spec)
 
 

@@ -33,9 +33,15 @@ DEFAULT_CAMPAIGN_MIX: tuple[tuple[str, float], ...] = (
 #: Recognised ``ScenarioSpec.kind`` values.
 KIND_CAMPAIGN = "campaign"
 KIND_ANALYTIC = "analytic"
+KIND_ORACLE = "oracle"
 
 #: Recognised campaign policies.
 POLICIES = ("user_jit", "periodic")
+
+#: Oracle scenarios may target this pseudo-workload: the small
+#: single-node DDP spec from :func:`repro.oracle.default_oracle_spec`
+#: rather than a Table 2 catalogue entry.
+ORACLE_WORKLOAD = "ORACLE"
 
 
 @dataclass(frozen=True)
@@ -69,13 +75,22 @@ class ScenarioSpec:
     init_costs: Optional[tuple[float, float, float]] = None
     #: Analytic scenarios only: the GPU count N of the Table 8 row.
     n_gpus: int = 0
+    #: Oracle scenarios only: the recovery strategy under test.
+    strategy: Optional[str] = None
+    #: Oracle scenarios only: a JSON :class:`repro.oracle.FailureSchedule`
+    #: to replay; when ``None``, ``fuzz_count`` schedules are drawn from
+    #: ``seed`` instead.
+    schedule: Optional[str] = None
+    fuzz_count: int = 0
 
     def __post_init__(self):
         from repro.workloads.catalog import WORKLOADS
 
-        if self.kind not in (KIND_CAMPAIGN, KIND_ANALYTIC):
+        if self.kind not in (KIND_CAMPAIGN, KIND_ANALYTIC, KIND_ORACLE):
             raise ValueError(f"unknown scenario kind {self.kind!r}")
-        if self.workload not in WORKLOADS:
+        if (self.workload not in WORKLOADS
+                and not (self.kind == KIND_ORACLE
+                         and self.workload == ORACLE_WORKLOAD)):
             raise ValueError(
                 f"unknown workload {self.workload!r}; choose from "
                 f"{sorted(WORKLOADS)}")
@@ -84,12 +99,26 @@ class ScenarioSpec:
                 f"unknown campaign policy {self.policy!r}; choose from {POLICIES}")
         if self.kind == KIND_ANALYTIC and self.n_gpus < 1:
             raise ValueError("analytic scenarios need n_gpus >= 1")
+        if self.kind == KIND_ORACLE:
+            from repro.oracle.strategies import STRATEGIES
+
+            if self.strategy not in STRATEGIES:
+                raise ValueError(
+                    f"oracle scenarios need a strategy from {STRATEGIES}, "
+                    f"got {self.strategy!r}")
+            if (self.schedule is None) == (self.fuzz_count < 1):
+                raise ValueError("oracle scenarios need exactly one of "
+                                 "a JSON schedule or fuzz_count >= 1")
 
     @property
     def scenario_id(self) -> str:
         """Short human-readable identity (not the cache key)."""
         if self.kind == KIND_ANALYTIC:
             return f"{self.workload}/analytic/N{self.n_gpus}"
+        if self.kind == KIND_ORACLE:
+            source = ("replay" if self.schedule is not None
+                      else f"fuzz{self.fuzz_count}")
+            return f"{self.workload}/oracle/{self.strategy}/{source}/seed{self.seed}"
         return f"{self.workload}/{self.policy}/seed{self.seed}"
 
     def config(self) -> dict:
@@ -145,4 +174,17 @@ class CampaignSpec:
         scenarios = tuple(
             ScenarioSpec(kind=KIND_ANALYTIC, workload=w, n_gpus=n, **common)
             for w in workloads for n in gpu_counts)
+        return cls(name=name, scenarios=scenarios)
+
+    @classmethod
+    def oracle_grid(cls, name: str, *, strategies: Iterable[str],
+                    seeds: Iterable[int] = (0,), fuzz_count: int = 3,
+                    workload: str = ORACLE_WORKLOAD,
+                    target_iterations: int = 20, **common) -> "CampaignSpec":
+        """Strategy x seed grid of recovery-equivalence fuzz scenarios."""
+        scenarios = tuple(
+            ScenarioSpec(kind=KIND_ORACLE, workload=workload, strategy=st,
+                         seed=s, fuzz_count=fuzz_count,
+                         target_iterations=target_iterations, **common)
+            for st in strategies for s in seeds)
         return cls(name=name, scenarios=scenarios)

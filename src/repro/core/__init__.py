@@ -16,6 +16,7 @@ from repro.core.config import JitConfig
 from repro.core.checkpoints import CheckpointRegistry
 from repro.core.gemini import GeminiPolicy, GeminiRunner
 from repro.core.swift import InvertibleSgd
+from repro.core.swift_recovery import SwiftJitSystem, SwiftRecoveryCoordinator
 from repro.core.telemetry import RecoveryTelemetry
 from repro.core.user_level import UserLevelJitRunner
 from repro.core.periodic import PeriodicPolicy, PeriodicRunner
@@ -31,6 +32,8 @@ __all__ = [
     "PeriodicPolicy",
     "PeriodicRunner",
     "RecoveryTelemetry",
+    "SwiftJitSystem",
+    "SwiftRecoveryCoordinator",
     "TransparentJitSystem",
     "UserLevelJitRunner",
 ]

@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.framework.optim import ParamDict, Sgd
+from repro.framework.optim import ParamDict, Sgd, register_optimizer
 
 
 class InvertibleSgd(Sgd):
@@ -30,6 +30,15 @@ class InvertibleSgd(Sgd):
         v <- mu * v + g;   p <- p - lr * v
     Inverse, given the same g and lr:
         p <- p + lr * v;   v <- (v - g) / mu       (v untouched if mu == 0)
+
+    The algebraic inverse alone recovers the prior state only to within
+    one ulp (``(p - d) + d != p`` under IEEE round-to-nearest), which
+    would break downstream bitwise-equivalence checks after a rollback.
+    So the step also retains the round-off *residual* of its own inverse
+    (Kahan-style compensation): the inverse recomputes the same floating
+    point expression and adds the residual, landing on the prior bits
+    exactly.  The residual is gradient-sized state resident only until
+    the next step — the same lifetime window as the retained gradients.
     """
 
     def __init__(self, params: ParamDict, lr: float = 1e-3,
@@ -37,6 +46,8 @@ class InvertibleSgd(Sgd):
         super().__init__(params, lr, momentum)
         self._last_grads: Optional[ParamDict] = None
         self._last_lr: Optional[float] = None
+        self._undo_residual: Optional[ParamDict] = None
+        self._vel_residual: Optional[ParamDict] = None
 
     def step(self, grads: ParamDict, lr: Optional[float] = None) -> None:
         # Keep references to the gradients consumed; in the simulated
@@ -44,14 +55,32 @@ class InvertibleSgd(Sgd):
         # replace them, exactly the window Swift's undo needs.
         self._last_grads = {name: grad.copy() for name, grad in grads.items()}
         self._last_lr = self.lr if lr is None else lr
+        before = {name: param.copy() for name, param in self.params.items()}
+        before_vel = ({name: vel.copy()
+                       for name, vel in self.velocity.items()}
+                      if self.momentum else {})
         super().step(grads, lr)
+        # Residual of the inverse: re-evaluate the exact expression the
+        # undo will compute and record what it misses.
+        eff = self._last_lr
+        self._undo_residual = {}
+        self._vel_residual = {}
+        for name, param in self.params.items():
+            if self.momentum:
+                inverse = param + eff * self.velocity[name]
+                vel_inverse = ((self.velocity[name] - self._last_grads[name])
+                               / self.momentum)
+                self._vel_residual[name] = before_vel[name] - vel_inverse
+            else:
+                inverse = param + eff * self._last_grads[name]
+            self._undo_residual[name] = before[name] - inverse
 
     @property
     def can_undo(self) -> bool:
         return self._last_grads is not None
 
     def undo_last_step(self) -> None:
-        """Exactly invert the most recent :meth:`step`."""
+        """Exactly (bitwise) invert the most recent :meth:`step`."""
         if not self.can_undo:
             raise RuntimeError("no step to undo (or already undone)")
         lr, grads = self._last_lr, self._last_grads
@@ -59,28 +88,44 @@ class InvertibleSgd(Sgd):
             if self.momentum:
                 vel = self.velocity[name]
                 param += lr * vel
+                param += self._undo_residual[name]
                 vel -= grads[name]
                 vel /= self.momentum
+                vel += self._vel_residual[name]
             else:
                 param += lr * grads[name]
+                param += self._undo_residual[name]
         self.step_count -= 1
         self._last_grads = None
         self._last_lr = None
+        self._undo_residual = None
+        self._vel_residual = None
 
     def state_dict(self) -> dict:
         state = super().state_dict()
         state["last_lr"] = self._last_lr
-        state["last_grads"] = (
-            None if self._last_grads is None
-            else {k: v.copy() for k, v in self._last_grads.items()})
+        for key, group in (("last_grads", self._last_grads),
+                           ("undo_residual", self._undo_residual),
+                           ("vel_residual", self._vel_residual)):
+            state[key] = (None if group is None
+                          else {k: v.copy() for k, v in group.items()})
         return state
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
         self._last_lr = state.get("last_lr")
-        grads = state.get("last_grads")
-        self._last_grads = (None if grads is None
-                            else {k: v.copy() for k, v in grads.items()})
+
+        def copy_of(key):
+            group = state.get(key)
+            return (None if group is None
+                    else {k: v.copy() for k, v in group.items()})
+
+        self._last_grads = copy_of("last_grads")
+        self._undo_residual = copy_of("undo_residual")
+        self._vel_residual = copy_of("vel_residual")
+
+
+register_optimizer("invertible_sgd", InvertibleSgd)
 
 
 def supports_undo(optimizer) -> bool:

@@ -140,9 +140,13 @@ class JitRankClient:
         # Serialise the copies on this GPU's PCIe link (side stream).
         yield from ctx.node.pcie_for(ctx.gpu).use(copy_time)
         state = engine.state_dict()
+        # Label with the state's own resume point (the device-applied
+        # version), not the run-ahead counter: a device that died with the
+        # optimizer still queued is one version behind, and assembly must
+        # be able to prefer a replica that got further (Section 3.3).
         key = CheckpointKey(kind="jit", epoch=self.coordinator.epoch,
                             shard_id=engine.shard_id, rank=self.rank,
-                            iteration=engine.iteration)
+                            iteration=int(state["iteration"]))
         yield from self.registry.write(key, state, nbytes=engine.state_bytes)
         return key
 

@@ -38,12 +38,30 @@ class FailureInjector:
         training regardless of setup/restore durations.  ``offset`` adds a
         delay after the iteration is reached (to hit a specific phase
         within the minibatch).
+
+        Waits on each engine's iteration-reached condition rather than
+        polling the clock, so dense campaigns cost O(engines) simulator
+        events per armed failure regardless of how far away the target
+        iteration is.  ``poll`` is kept for backwards compatibility and
+        only used for engines without :meth:`iteration_reached`.
         """
         def waiter():
-            while min(e.iteration for e in engines) < iteration:
-                yield self.env.timeout(poll)
-            if offset:
-                yield self.env.timeout(offset)
+            while True:
+                lagging = [e for e in engines if e.iteration < iteration]
+                if not lagging:
+                    break
+                if all(hasattr(e, "iteration_reached") for e in lagging):
+                    yield self.env.all_of(
+                        [e.iteration_reached(iteration) for e in lagging])
+                else:  # engines predating iteration conditions
+                    yield self.env.timeout(poll)
+            # Settle the boundary instant: the iteration counter advances
+            # in the middle of a cascade of same-timestamp events (optimizer
+            # completion, next-minibatch enqueue).  A zero-delay reschedule
+            # lands the failure after that cascade — inside the target
+            # minibatch, like the old clock-polling waiter — instead of
+            # racing it on tie-break order.
+            yield self.env.timeout(offset)
             self.apply(FailureEvent(self.env.now, event.failure_type,
                                     event.target, event.duration))
             if (event.failure_type is FailureType.NETWORK_TRANSIENT

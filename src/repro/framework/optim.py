@@ -142,11 +142,25 @@ class AdamW(Adam):
         self.weight_decay = state["weight_decay"]
 
 
+#: Optimizer registry.  Packages that layer extra optimizers on top of
+#: the framework (e.g. ``repro.core.swift``'s invertible SGD) register
+#: here instead of importing into this module, which would be circular.
+OPTIMIZER_KINDS: dict[str, Callable[..., Optimizer]] = {
+    "sgd": Sgd, "adam": Adam, "adamw": AdamW,
+}
+
+
+def register_optimizer(kind: str, factory: Callable[..., Optimizer]) -> None:
+    """Register *factory* under *kind* for :func:`make_optimizer`."""
+    existing = OPTIMIZER_KINDS.get(kind)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"optimizer kind {kind!r} already registered")
+    OPTIMIZER_KINDS[kind] = factory
+
+
 def make_optimizer(kind: str, params: ParamDict, lr: float = 1e-3) -> Optimizer:
-    """Factory used by workload configs ("sgd" / "adam" / "adamw")."""
-    kinds: dict[str, Callable[..., Optimizer]] = {
-        "sgd": Sgd, "adam": Adam, "adamw": AdamW,
-    }
-    if kind not in kinds:
-        raise ValueError(f"unknown optimizer {kind!r}; choose from {sorted(kinds)}")
-    return kinds[kind](params, lr=lr)
+    """Factory used by workload configs ("sgd" / "adam" / "adamw" / ...)."""
+    if kind not in OPTIMIZER_KINDS:
+        raise ValueError(
+            f"unknown optimizer {kind!r}; choose from {sorted(OPTIMIZER_KINDS)}")
+    return OPTIMIZER_KINDS[kind](params, lr=lr)

@@ -1,0 +1,50 @@
+"""Recovery-equivalence oracle: chaos fuzzing across recovery strategies.
+
+Three pieces, designed to be used together:
+
+* :mod:`repro.oracle.schedule` — :class:`ScheduleFuzzer` draws seeded
+  multi-failure :class:`FailureSchedule`\\ s (overlapping transients,
+  back-to-back hard errors, failure-during-recovery, optimizer-boundary
+  hits), picklable and JSON-round-trippable.
+* :mod:`repro.oracle.oracle` — :class:`RecoveryOracle` runs a schedule
+  under each strategy (transparent, swift, user_level, periodic,
+  adaptive, gemini) and checks the invariant catalogue: bitwise loss
+  exactness versus a golden run, bounded rework, no double-resume, replay
+  log hygiene, virtual-handle consistency, GC never deleting the live
+  checkpoint.
+* :mod:`repro.oracle.shrinker` — minimizes a failing schedule to the
+  smallest reproducer and renders the one-line replay command.
+
+Run ``python -m repro.oracle sweep --seed 7 --count 5`` for a quick
+all-strategy fuzz, or ``python -m repro.tools.report oracle`` for the
+report-card view.
+"""
+
+from repro.oracle.invariants import Violation, check_all
+from repro.oracle.oracle import (DEFAULT_ITERATIONS, RecoveryOracle,
+                                 SweepReport, Verdict, default_oracle_spec)
+from repro.oracle.schedule import (FailurePoint, FailureSchedule,
+                                   ScheduleFuzzer)
+from repro.oracle.shrinker import ShrinkResult, repro_command, shrink
+from repro.oracle.strategies import (MUTATIONS, STRATEGIES, StrategyRun,
+                                     run_strategy)
+
+__all__ = [
+    "DEFAULT_ITERATIONS",
+    "FailurePoint",
+    "FailureSchedule",
+    "MUTATIONS",
+    "RecoveryOracle",
+    "STRATEGIES",
+    "ScheduleFuzzer",
+    "ShrinkResult",
+    "StrategyRun",
+    "SweepReport",
+    "Verdict",
+    "Violation",
+    "check_all",
+    "default_oracle_spec",
+    "repro_command",
+    "run_strategy",
+    "shrink",
+]

@@ -1,0 +1,86 @@
+"""CLI for the recovery-equivalence oracle.
+
+``sweep``
+    Seeded fuzz sweep across strategies; exits non-zero on any failure.
+``replay``
+    Re-run one JSON schedule under one strategy (the shrinker's repro
+    command lands here).
+``shrink``
+    Minimize a failing JSON schedule and print the repro one-liner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.oracle.oracle import DEFAULT_ITERATIONS, RecoveryOracle
+from repro.oracle.schedule import FailureSchedule
+from repro.oracle.shrinker import shrink
+from repro.oracle.strategies import STRATEGIES
+
+
+def _add_common(parser):
+    parser.add_argument("--iterations", type=int, default=DEFAULT_ITERATIONS,
+                        help="training iterations per run")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.oracle",
+        description="Recovery-equivalence oracle for JIT checkpointing")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="seeded fuzz sweep")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--count", type=int, default=5,
+                       help="schedules to draw")
+    sweep.add_argument("--strategies", nargs="+", default=list(STRATEGIES),
+                       choices=list(STRATEGIES))
+    _add_common(sweep)
+
+    replay = sub.add_parser("replay", help="replay one schedule")
+    replay.add_argument("--strategy", required=True, choices=list(STRATEGIES))
+    replay.add_argument("--schedule", required=True,
+                        help="JSON schedule (from the shrinker)")
+    _add_common(replay)
+
+    shrink_p = sub.add_parser("shrink", help="minimize a failing schedule")
+    shrink_p.add_argument("--strategy", required=True,
+                          choices=list(STRATEGIES))
+    shrink_p.add_argument("--schedule", required=True)
+    _add_common(shrink_p)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    oracle = RecoveryOracle(iterations=args.iterations)
+
+    if args.command == "sweep":
+        report = oracle.sweep(
+            args.seed, args.count, strategies=args.strategies,
+            progress=lambda v: print(v.describe()))
+        print()
+        for line in report.summary_lines():
+            print(line)
+        print(f"\n{len(report.verdicts)} checks, "
+              f"{len(report.failures)} failing")
+        return 0 if report.passed else 1
+
+    schedule = FailureSchedule.from_json(args.schedule)
+    if args.command == "replay":
+        verdict = oracle.check(schedule, args.strategy)
+        print(verdict.describe())
+        return 0 if verdict.passed else 1
+
+    result = shrink(oracle, schedule, args.strategy)
+    print(f"shrunk {len(result.original)} -> {len(result.minimal)} points "
+          f"in {result.attempts} attempts")
+    print(result.minimal.describe())
+    print(result.repro)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

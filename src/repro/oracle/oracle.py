@@ -1,0 +1,158 @@
+"""The recovery-equivalence oracle.
+
+:class:`RecoveryOracle` answers one question for any (schedule, strategy)
+pair: *does recovery preserve training semantics?*  It runs a failure-free
+golden reference once per workload variant, replays the schedule under
+the requested strategy, and checks the full invariant catalogue
+(:mod:`repro.oracle.invariants`).  :meth:`RecoveryOracle.sweep` drives a
+seeded :class:`~repro.oracle.schedule.ScheduleFuzzer` across every
+strategy and aggregates verdicts for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hardware.specs import V100_NODE
+from repro.oracle.invariants import Violation, check_all
+from repro.oracle.schedule import FailureSchedule, ScheduleFuzzer
+from repro.oracle.strategies import (STRATEGIES, StrategyRun, run_strategy,
+                                     spec_variant)
+from repro.parallel.topology import ParallelLayout
+from repro.workloads import TrainingJob, WorkloadSpec
+
+DEFAULT_ITERATIONS = 20
+
+
+def default_oracle_spec(dp: int = 4, dropout: float = 0.0,
+                        minibatch_time: float = 0.05) -> WorkloadSpec:
+    """Small, fast workload every strategy can run (one node, DDP)."""
+    return WorkloadSpec(
+        name="ORACLE", model="GPT2-S", node_spec=V100_NODE, num_nodes=1,
+        layout=ParallelLayout(dp=dp), engine="ddp", framework="oracle",
+        minibatch_time=minibatch_time, global_batch=16, dropout=dropout,
+        seed=7)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one (schedule, strategy) oracle check."""
+
+    strategy: str
+    schedule: FailureSchedule
+    outcome: str                       # "exact" | "violation" | "unrecoverable"
+    violations: tuple[Violation, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return self.outcome == "exact"
+
+    def describe(self) -> str:
+        head = f"{self.strategy:<12} {self.schedule.describe()}: {self.outcome}"
+        if not self.violations:
+            return head
+        lines = [head] + [f"    {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepReport:
+    """Aggregated verdicts of one fuzz sweep."""
+
+    seed: int
+    iterations: int
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[Verdict]:
+        return [v for v in self.verdicts if not v.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> list[str]:
+        by_strategy: dict[str, list[Verdict]] = {}
+        for verdict in self.verdicts:
+            by_strategy.setdefault(verdict.strategy, []).append(verdict)
+        lines = []
+        for strategy in sorted(by_strategy):
+            verdicts = by_strategy[strategy]
+            bad = [v for v in verdicts if not v.passed]
+            status = "ok" if not bad else f"{len(bad)} FAILING"
+            lines.append(f"{strategy:<12} {len(verdicts):>3} schedules  {status}")
+        return lines
+
+
+class RecoveryOracle:
+    """Cross-strategy recovery-equivalence checker.
+
+    Golden loss streams are memoized per workload *variant* (Swift runs
+    under the invertible optimizer, so it gets its own golden), making
+    repeated checks — the shrinker's inner loop — cheap.
+    """
+
+    def __init__(self, spec: Optional[WorkloadSpec] = None,
+                 iterations: int = DEFAULT_ITERATIONS,
+                 strategies: Sequence[str] = STRATEGIES,
+                 mutations: Sequence[str] = ()):
+        self.spec = spec if spec is not None else default_oracle_spec()
+        self.iterations = iterations
+        self.strategies = tuple(strategies)
+        self.mutations = tuple(mutations)
+        self._goldens: dict[str, list[float]] = {}
+        #: Simulator events dispatched by runs checked so far (perf
+        #: telemetry; golden reference runs are not counted).
+        self.events_processed = 0
+
+    def golden(self, strategy: str) -> list[float]:
+        """Failure-free loss stream for *strategy*'s workload variant."""
+        variant = spec_variant(self.spec, strategy)
+        key = variant.optimizer
+        if key not in self._goldens:
+            self._goldens[key] = list(
+                TrainingJob(variant).run_training(self.iterations)[0])
+        return self._goldens[key]
+
+    def run(self, schedule: FailureSchedule, strategy: str) -> StrategyRun:
+        return run_strategy(strategy, self.spec, schedule, self.iterations,
+                            mutations=self.mutations)
+
+    def check(self, schedule: FailureSchedule, strategy: str) -> Verdict:
+        run = self.run(schedule, strategy)
+        self.events_processed += run.events
+        violations = tuple(check_all(run, self.golden(strategy)))
+        if not violations:
+            outcome = "exact"
+        elif run.outcome != "ok":
+            outcome = "unrecoverable"
+        else:
+            outcome = "violation"
+        return Verdict(strategy=strategy, schedule=schedule,
+                       outcome=outcome, violations=violations)
+
+    def check_all(self, schedule: FailureSchedule) -> dict[str, Verdict]:
+        return {strategy: self.check(schedule, strategy)
+                for strategy in self.strategies}
+
+    def fuzzer(self, seed: int, **kwargs) -> ScheduleFuzzer:
+        kwargs.setdefault("world_size", self.spec.world_size)
+        kwargs.setdefault("min_iteration", 2)
+        kwargs.setdefault("max_iteration", max(3, self.iterations - 5))
+        return ScheduleFuzzer(seed, **kwargs)
+
+    def sweep(self, seed: int, count: int,
+              strategies: Optional[Sequence[str]] = None,
+              shapes: Optional[Sequence[str]] = None,
+              progress=None) -> SweepReport:
+        """Fuzz *count* schedules; check each against every strategy."""
+        fuzzer = self.fuzzer(seed, shapes=tuple(shapes) if shapes else None)
+        report = SweepReport(seed=seed, iterations=self.iterations)
+        for schedule in fuzzer.schedules(count):
+            for strategy in (strategies or self.strategies):
+                verdict = self.check(schedule, strategy)
+                report.verdicts.append(verdict)
+                if progress is not None:
+                    progress(verdict)
+        return report

@@ -1,0 +1,268 @@
+"""Multi-failure schedules and the seeded chaos fuzzer.
+
+A :class:`FailureSchedule` is a workload-independent description of *when*
+and *where* failures strike: each :class:`FailurePoint` names a training
+iteration, a sub-minibatch offset (in minibatch units, so the same
+schedule stresses fast and slow workloads identically), a failure type
+and a target *rank*.  Ranks are resolved to concrete hardware (GPU ids,
+node names) only at arm time against the live job, so schedules stay
+picklable, JSON-round-trippable and replayable from a one-line command.
+
+:class:`ScheduleFuzzer` draws schedules deterministically from a seed,
+shaped to hit the recovery paths the paper's design cares about:
+overlapping transients, back-to-back hard errors, a second failure
+landing *during* recovery, and failures at the optimizer-step boundary
+(where parameter versions skew across ranks).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Sequence
+
+from repro.failures.types import FailureEvent, FailureType
+
+#: Single-GPU failure classes every strategy must recover from.
+GPU_ERRORS = ("GPU_HARD", "GPU_STICKY", "GPU_DRIVER_CORRUPT")
+
+#: Recognised fuzzer shapes, in deterministic draw order.
+SHAPES = (
+    "single",
+    "opt_boundary",
+    "back_to_back_hard",
+    "during_recovery",
+    "multi_mixed",
+)
+
+#: Shapes additionally available on multi-node workloads (a transient
+#: link flap is a no-op when all ranks share one node's NVLink).
+NETWORK_SHAPES = ("transient_overlap",)
+
+
+@dataclass(frozen=True)
+class FailurePoint:
+    """One failure: (iteration, offset) x (type, rank).
+
+    ``offset`` and ``duration`` are in *minibatch units* — multiplied by
+    the workload's minibatch time at arm time — so a point targeting "the
+    optimizer window" (offset near 1.0) does so on any workload.
+    """
+
+    iteration: int
+    failure_type: str           # FailureType name (JSON-friendly)
+    target_rank: int
+    offset: float = 0.0
+    duration: float = 0.0       # NETWORK_TRANSIENT only
+
+    def __post_init__(self):
+        if self.failure_type not in FailureType.__members__:
+            raise ValueError(f"unknown failure type {self.failure_type!r}")
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+
+    @property
+    def type(self) -> FailureType:
+        return FailureType[self.failure_type]
+
+    def resolve_target(self, job) -> str:
+        """Concrete hardware target for this point against a live job."""
+        ctx = job.contexts[self.target_rank % len(job.contexts)]
+        if self.type in (FailureType.NODE_CRASH,
+                         FailureType.NETWORK_TRANSIENT):
+            return ctx.node.name
+        return ctx.gpu.gpu_id
+
+    def to_event(self, time: float, job, minibatch_time: float) -> FailureEvent:
+        duration = (self.duration * minibatch_time
+                    if self.type is FailureType.NETWORK_TRANSIENT and
+                    self.duration else None)
+        return FailureEvent(time, self.type, self.resolve_target(job),
+                            duration=duration)
+
+    def describe(self) -> str:
+        extra = f"+{self.offset:.2f}mb" if self.offset else ""
+        return f"{self.failure_type}@it{self.iteration}{extra}->r{self.target_rank}"
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered set of failure points plus draw provenance."""
+
+    points: tuple[FailurePoint, ...]
+    shape: str = "manual"
+    seed: int = -1
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "points",
+            tuple(sorted(self.points,
+                         key=lambda p: (p.iteration, p.offset,
+                                        p.target_rank, p.failure_type))))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def describe(self) -> str:
+        inner = ", ".join(p.describe() for p in self.points)
+        return f"<{self.shape}#{self.seed}: {inner}>"
+
+    # -- edits (used by the shrinker) --------------------------------------------------
+
+    def without(self, index: int) -> "FailureSchedule":
+        points = tuple(p for i, p in enumerate(self.points) if i != index)
+        return replace(self, points=points)
+
+    def with_point(self, index: int, **fields) -> "FailureSchedule":
+        points = list(self.points)
+        points[index] = replace(points[index], **fields)
+        return replace(self, points=tuple(points))
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "shape": self.shape,
+            "seed": self.seed,
+            "points": [
+                {"iteration": p.iteration, "failure_type": p.failure_type,
+                 "target_rank": p.target_rank, "offset": p.offset,
+                 "duration": p.duration}
+                for p in self.points
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureSchedule":
+        return cls(points=tuple(FailurePoint(**p) for p in data["points"]),
+                   shape=data.get("shape", "manual"),
+                   seed=data.get("seed", -1))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureSchedule":
+        return cls.from_dict(json.loads(text))
+
+
+class ScheduleFuzzer:
+    """Deterministic, seeded generator of failure schedules.
+
+    Draw order is a pure function of (seed, constructor arguments), so a
+    failing schedule reported by seed reproduces anywhere.  ``shapes``
+    defaults to the GPU-failure shapes; pass ``include_network=True`` on
+    multi-node workloads to add transient-link shapes.
+    """
+
+    def __init__(self, seed: int, world_size: int = 4,
+                 min_iteration: int = 2, max_iteration: int = 9,
+                 shapes: Optional[Sequence[str]] = None,
+                 include_network: bool = False):
+        if max_iteration <= min_iteration:
+            raise ValueError("need max_iteration > min_iteration")
+        self.seed = seed
+        self.world_size = world_size
+        self.min_iteration = min_iteration
+        self.max_iteration = max_iteration
+        if shapes is None:
+            shapes = SHAPES + (NETWORK_SHAPES if include_network else ())
+        unknown = [s for s in shapes if s not in SHAPES + NETWORK_SHAPES]
+        if unknown:
+            raise ValueError(f"unknown shapes {unknown}")
+        self.shapes = tuple(shapes)
+        self._rng = random.Random(seed)
+        self._drawn = 0
+
+    # -- drawing ------------------------------------------------------------------------
+
+    def _iteration(self, rng) -> int:
+        return rng.randint(self.min_iteration, self.max_iteration)
+
+    def _rank(self, rng, exclude: Optional[int] = None) -> int:
+        ranks = [r for r in range(self.world_size) if r != exclude]
+        return rng.choice(ranks)
+
+    def draw(self, shape: Optional[str] = None) -> FailureSchedule:
+        """Next schedule; round-robins over shapes unless one is forced."""
+        rng = self._rng
+        chosen = shape or self.shapes[self._drawn % len(self.shapes)]
+        draw_seed = self.seed * 10_000 + self._drawn
+        self._drawn += 1
+        builder = getattr(self, f"_draw_{chosen}")
+        return FailureSchedule(points=tuple(builder(rng)),
+                               shape=chosen, seed=draw_seed)
+
+    def schedules(self, count: int) -> Iterator[FailureSchedule]:
+        for _ in range(count):
+            yield self.draw()
+
+    # -- shapes -------------------------------------------------------------------------
+
+    def _draw_single(self, rng) -> list[FailurePoint]:
+        return [FailurePoint(self._iteration(rng), rng.choice(GPU_ERRORS),
+                             self._rank(rng),
+                             offset=round(rng.uniform(0.0, 2.0), 3))]
+
+    def _draw_opt_boundary(self, rng) -> list[FailurePoint]:
+        """Land inside the optimizer window so parameter versions skew."""
+        return [FailurePoint(self._iteration(rng), "GPU_DRIVER_CORRUPT",
+                             self._rank(rng),
+                             offset=round(rng.uniform(0.85, 1.15), 3))]
+
+    def _draw_back_to_back_hard(self, rng) -> list[FailurePoint]:
+        iteration = self._iteration(rng)
+        first = self._rank(rng)
+        return [
+            FailurePoint(iteration, "GPU_HARD", first,
+                         offset=round(rng.uniform(0.0, 1.0), 3)),
+            FailurePoint(min(iteration + 1, self.max_iteration), "GPU_HARD",
+                         self._rank(rng, exclude=first),
+                         offset=round(rng.uniform(0.0, 1.0), 3)),
+        ]
+
+    def _draw_during_recovery(self, rng) -> list[FailurePoint]:
+        """Second failure fires while the first is still being recovered
+        (recovery takes >= the settle time of ~1.5 minibatches, so an
+        offset a few minibatches later lands inside the episode)."""
+        iteration = self._iteration(rng)
+        first = self._rank(rng)
+        base_offset = round(rng.uniform(0.0, 0.5), 3)
+        return [
+            FailurePoint(iteration, rng.choice(GPU_ERRORS), first,
+                         offset=base_offset),
+            FailurePoint(iteration, rng.choice(GPU_ERRORS),
+                         self._rank(rng, exclude=first),
+                         offset=round(base_offset + rng.uniform(1.6, 3.0), 3)),
+        ]
+
+    def _draw_multi_mixed(self, rng) -> list[FailurePoint]:
+        first_it = self._iteration(rng)
+        second_it = self._iteration(rng)
+        if second_it == first_it:
+            second_it = min(first_it + 2, self.max_iteration)
+        first_rank = self._rank(rng)
+        first_type, second_type = rng.sample(list(GPU_ERRORS), 2)
+        return [
+            FailurePoint(first_it, first_type, first_rank,
+                         offset=round(rng.uniform(0.0, 1.5), 3)),
+            FailurePoint(second_it, second_type,
+                         self._rank(rng, exclude=first_rank),
+                         offset=round(rng.uniform(0.0, 1.5), 3)),
+        ]
+
+    def _draw_transient_overlap(self, rng) -> list[FailurePoint]:
+        """A link flap plus a GPU failure while the link is still down."""
+        iteration = self._iteration(rng)
+        flapped = self._rank(rng)
+        return [
+            FailurePoint(iteration, "NETWORK_TRANSIENT", flapped,
+                         offset=round(rng.uniform(0.0, 1.0), 3),
+                         duration=round(rng.uniform(100.0, 250.0), 1)),
+            FailurePoint(min(iteration + 1, self.max_iteration),
+                         rng.choice(GPU_ERRORS),
+                         self._rank(rng, exclude=flapped),
+                         offset=round(rng.uniform(0.0, 1.0), 3)),
+        ]

@@ -1,0 +1,114 @@
+"""Greedy minimization of failing failure schedules.
+
+When the oracle flags a schedule, :func:`shrink` reduces it to the
+smallest schedule that still fails the same (strategy, oracle) check —
+first by dropping whole failure points, then by shrinking each surviving
+point's fields (iteration toward the earliest fuzzed iteration, offset
+and duration toward zero).  Shrinking is deterministic: the same failing
+schedule always minimizes to the same reproducer, and
+:func:`repro_command` renders the one-liner that replays it.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+
+from repro.oracle.schedule import FailureSchedule
+
+#: Earliest iteration shrinking will move a failure to (iterations 0-1
+#: cover setup/warmup paths that are not the schedule's point).
+MIN_ITERATION = 2
+
+
+def repro_command(schedule: FailureSchedule, strategy: str,
+                  iterations: int) -> str:
+    """One-line command replaying *schedule* under *strategy*."""
+    return ("PYTHONPATH=src python -m repro.oracle replay "
+            f"--strategy {strategy} --iterations {iterations} "
+            f"--schedule {shlex.quote(schedule.to_json())}")
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized failing schedule plus how it was reached."""
+
+    original: FailureSchedule
+    minimal: FailureSchedule
+    strategy: str
+    iterations: int
+    attempts: int                 # candidate schedules evaluated
+    accepted: int                 # shrink steps that kept the failure
+
+    @property
+    def repro(self) -> str:
+        return repro_command(self.minimal, self.strategy, self.iterations)
+
+
+def _field_candidates(point):
+    """Smaller-first candidate edits for one failure point's fields."""
+    if point.iteration > MIN_ITERATION:
+        for candidate in sorted({MIN_ITERATION,
+                                 (point.iteration + MIN_ITERATION) // 2,
+                                 point.iteration - 1}):
+            if candidate < point.iteration:
+                yield {"iteration": candidate}
+    if point.offset > 0.0:
+        for candidate in (0.0, round(point.offset / 2, 3)):
+            if candidate < point.offset:
+                yield {"offset": candidate}
+    if point.duration > 0.0:
+        smaller = round(point.duration / 2, 3)
+        if smaller < point.duration:
+            yield {"duration": smaller}
+
+
+def shrink(oracle, schedule: FailureSchedule, strategy: str,
+           max_rounds: int = 10) -> ShrinkResult:
+    """Minimize *schedule* while ``oracle.check(.., strategy)`` still fails.
+
+    The input must already fail — shrinking a passing schedule is a bug
+    in the caller, reported as ``ValueError``.
+    """
+    attempts = 0
+    accepted = 0
+
+    def fails(candidate: FailureSchedule) -> bool:
+        nonlocal attempts
+        attempts += 1
+        return not oracle.check(candidate, strategy).passed
+
+    if not fails(schedule):
+        raise ValueError(
+            f"schedule passes under {strategy!r}; nothing to shrink")
+
+    current = schedule
+    for _round in range(max_rounds):
+        progressed = False
+        # Phase 1: drop whole failure points (never below one).
+        index = 0
+        while len(current) > 1 and index < len(current):
+            candidate = current.without(index)
+            if fails(candidate):
+                current = candidate
+                accepted += 1
+                progressed = True
+            else:
+                index += 1
+        # Phase 2: shrink each surviving point's fields.
+        for index in range(len(current)):
+            shrunk = True
+            while shrunk:
+                shrunk = False
+                for fields in _field_candidates(current.points[index]):
+                    candidate = current.with_point(index, **fields)
+                    if fails(candidate):
+                        current = candidate
+                        accepted += 1
+                        progressed = shrunk = True
+                        break
+        if not progressed:
+            break
+    return ShrinkResult(original=schedule, minimal=current,
+                        strategy=strategy, iterations=oracle.iterations,
+                        attempts=attempts, accepted=accepted)

@@ -1,0 +1,334 @@
+"""Uniform adapters running one failure schedule under each recovery strategy.
+
+The oracle compares six strategies through one interface:
+
+* ``transparent`` — Section 4 device-proxy recovery (replay log, virtual
+  handles, CRIU migration for hard errors).
+* ``swift`` — transparent recovery with Swift-style optimizer rollback
+  resolving version skew (spec is switched to the invertible optimizer).
+* ``user_level`` — Section 3 watchdog + on-failure checkpoint + restart.
+* ``periodic`` — the PC_mem baseline on a fixed interval.
+* ``adaptive`` — periodic with CheckFreq-style runtime interval tuning.
+* ``gemini`` — per-iteration buddy-RAM checkpointing.
+
+Each adapter arms the schedule's failure points at their target
+iterations (offsets scaled by the workload's minibatch time), runs to
+completion, and returns a :class:`StrategyRun` carrying everything the
+invariant checkers need: the loss stream, recovery telemetry, trace,
+device proxies, checkpoint-GC observations and per-generation resume
+points.
+
+``MUTATIONS`` deliberately breaks a strategy (e.g. skipping the RNG
+rewind before replay) so tests can prove the oracle catches real bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core import JitConfig, SwiftJitSystem, TransparentJitSystem
+from repro.failures.injector import FailureInjector
+from repro.failures.types import FailureType
+from repro.oracle.schedule import FailureSchedule
+from repro.sim import Environment, Tracer
+from repro.storage import SharedObjectStore
+from repro.workloads.catalog import WorkloadSpec
+
+#: Every strategy the oracle cross-checks.
+STRATEGIES = ("transparent", "swift", "user_level", "periodic",
+              "adaptive", "gemini")
+
+#: Strategies built on the device-proxy (in-place recovery, no restart).
+TRANSPARENT_FAMILY = ("transparent", "swift")
+
+_STORE_BANDWIDTH = 1.5e9
+
+
+@dataclass
+class StrategyRun:
+    """Everything one strategy execution exposes to the invariant checks."""
+
+    strategy: str
+    losses: list[float]
+    outcome: str                      # "ok" | "unrecoverable"
+    detail: str = ""
+    completed: bool = False
+    #: Max minibatches a single recovery may replay (None = unbounded,
+    #: e.g. periodic baselines replay up to a whole interval by design).
+    rework_bound: Optional[int] = None
+    telemetry: Optional[object] = None
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=False))
+    proxies: list = field(default_factory=list)
+    #: generation -> iteration the slowest rank resumed from.
+    resume_points: dict = field(default_factory=dict)
+    generations: list = field(default_factory=list)
+    #: GC-deleted-live-checkpoint observations (collected while running).
+    gc_violations: list = field(default_factory=list)
+    #: Simulator events the run dispatched (perf telemetry).
+    events: int = 0
+
+
+def spec_variant(spec: WorkloadSpec, strategy: str) -> WorkloadSpec:
+    """The workload actually run (and goldened) for *strategy*.
+
+    Swift requires an invertible optimizer, so its runs — and the golden
+    baseline they are compared against — use ``invertible_sgd``.
+    """
+    if strategy == "swift" and spec.optimizer != "invertible_sgd":
+        return dataclasses.replace(spec, optimizer="invertible_sgd")
+    return spec
+
+
+def rework_bound(strategy: str, schedule: FailureSchedule) -> Optional[int]:
+    if strategy in ("transparent", "swift", "user_level"):
+        return 1
+    if strategy == "gemini":
+        # Buddy RAM checkpoints every iteration, so rework is one
+        # minibatch — unless a node crash wipes the buddy slots too.
+        crashes = any(p.failure_type == "NODE_CRASH" for p in schedule.points)
+        return None if crashes else 1
+    return None  # periodic / adaptive legitimately replay an interval
+
+
+# -- mutations ------------------------------------------------------------------------
+
+
+def _skip_rng_rewind(system, job) -> None:
+    """Break replay determinism: recovery forgets to rewind the RNG.
+
+    The device RNG is rewound two ways during recovery — the proxy's
+    snapshot restore *and* the logged ``rng_reseed`` kernel re-executed by
+    replay — so both are disabled.  Replayed dropout masks are then drawn
+    from the stream position the failure happened to leave behind, which
+    is exactly the divergence the paper's Section 4.3 determinism
+    requirement exists to prevent.
+    """
+    def _strip_reseed(records):
+        records[:] = [r for r in records
+                      if not (r.method == "launch_kernel"
+                              and str(r.args[1]).startswith("rng_reseed"))]
+
+    for proxy in system.proxies:
+        proxy.restore_rng = lambda include_previous=False: None
+        original_replay = proxy.replay
+
+        def replay(skip_optimizer=False, include_previous=False,
+                   _proxy=proxy, _original=original_replay):
+            _strip_reseed(_proxy.log.records)
+            if _proxy.log.previous_records:
+                _strip_reseed(_proxy.log.previous_records)
+            return _original(skip_optimizer=skip_optimizer,
+                             include_previous=include_previous)
+
+        proxy.replay = replay
+
+
+#: name -> callable(system, job), applied after the job is built.  Only
+#: the transparent family supports mutations (they patch device proxies).
+MUTATIONS: dict[str, Callable] = {
+    "skip_rng_rewind": _skip_rng_rewind,
+}
+
+
+# -- transparent family ---------------------------------------------------------------
+
+
+def _run_transparent_family(strategy: str, spec: WorkloadSpec,
+                            schedule: FailureSchedule, iterations: int,
+                            mutations: Sequence[str]) -> StrategyRun:
+    env = Environment()
+    tracer = Tracer()
+    store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
+    cls = SwiftJitSystem if strategy == "swift" else TransparentJitSystem
+    system = cls(env, spec, store=store, config=JitConfig(), tracer=tracer)
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster, tracer=tracer)
+    minibatch = spec.minibatch_time
+    for point in schedule.points:
+        injector.arm_at_iteration(point.to_event(0.0, job, minibatch),
+                                  job.engines, point.iteration,
+                                  offset=point.offset * minibatch)
+    for name in mutations:
+        MUTATIONS[name](system, job)
+    run = StrategyRun(strategy=strategy, losses=[], outcome="ok",
+                      rework_bound=rework_bound(strategy, schedule),
+                      telemetry=system.telemetry, tracer=tracer,
+                      proxies=list(system.proxies))
+    try:
+        losses = system.run_training(job, iterations)
+    except RuntimeError as exc:
+        run.outcome = "unrecoverable"
+        run.detail = str(exc)
+        run.events = env.events_processed
+        return run
+    run.losses = list(losses[0])
+    run.completed = True
+    run.events = env.events_processed
+    return run
+
+
+# -- managed family (restart-based runners) -------------------------------------------
+
+
+def _build_managed_runner(strategy: str, env, spec, store, iterations,
+                          tracer):
+    from repro.core import (AdaptiveIntervalTuner, GeminiPolicy, GeminiRunner,
+                            PeriodicPolicy, PeriodicRunner, UserLevelJitRunner)
+    from repro.core.periodic import CheckpointMode
+
+    # Simulated seconds are free; keep the hang detector well clear of
+    # worker init/restore costs so it only fires on real failures.
+    progress_timeout = max(30.0, 4.0 * spec.minibatch_time)
+    if strategy == "user_level":
+        return UserLevelJitRunner(env, spec, store, iterations,
+                                  config=JitConfig(), tracer=tracer,
+                                  progress_timeout=progress_timeout)
+    if strategy == "gemini":
+        return GeminiRunner(env, spec, iterations, GeminiPolicy(),
+                            tracer=tracer, progress_timeout=progress_timeout)
+    interval = max(2, iterations // 4)
+    make_tuner = None
+    if strategy == "adaptive":
+        def make_tuner():
+            return AdaptiveIntervalTuner(spec.world_size,
+                                         failure_rate=1e-5,
+                                         warmup_iterations=2,
+                                         initial_interval=interval)
+    return PeriodicRunner(env, spec, store, iterations,
+                          PeriodicPolicy(CheckpointMode.PC_MEM, interval),
+                          config=JitConfig(), tracer=tracer,
+                          progress_timeout=progress_timeout,
+                          make_tuner=make_tuner)
+
+
+def _guard_garbage_collect(registry, gc_violations: list) -> None:
+    """Wrap the registry's GC so deleting the live restore point is caught."""
+    original = registry.garbage_collect
+
+    def guarded(shard_ids, keep_iterations: int = 2):
+        live = registry.latest_consistent_iteration(shard_ids)
+        removed = original(shard_ids, keep_iterations=keep_iterations)
+        if live is not None:
+            for shard_id in set(shard_ids):
+                if registry.checkpoint_at(shard_id, live) is None:
+                    gc_violations.append(
+                        f"garbage_collect deleted the live checkpoint "
+                        f"(iteration {live}, shard {shard_id})")
+        return removed
+
+    registry.garbage_collect = guarded
+
+
+def _record_resume_points(runner, resume_points: dict) -> None:
+    """Note the iteration each generation actually resumed from."""
+    original = runner._make_restore_fn
+
+    def make_restore_fn(generation, rank, job):
+        inner = original(generation, rank, job)
+        engine = job.engines[rank]
+
+        def restore(worker):
+            if inner is not None:
+                yield from inner(worker)
+            previous = resume_points.get(generation)
+            iteration = engine.iteration
+            resume_points[generation] = (iteration if previous is None
+                                         else min(previous, iteration))
+
+        return restore
+
+    runner._make_restore_fn = make_restore_fn
+
+
+def _arm_managed(env, runner, injector, spec, schedule: FailureSchedule):
+    """Fire each point once the (current generation's) engines reach it.
+
+    The job is re-created on every restart, so targets are re-resolved and
+    iteration progress re-read from ``manager.current_job`` each wait
+    round; engines expose iteration-reached conditions, with a
+    minibatch-scale timeout as the cross-generation fallback.
+    """
+    minibatch = spec.minibatch_time
+
+    def armer():
+        for point in schedule.points:
+            while True:
+                job = runner.manager.current_job
+                if job is None:
+                    yield env.timeout(minibatch)
+                    continue
+                lagging = [e for e in job.engines
+                           if e.iteration < point.iteration]
+                if not lagging:
+                    break
+                waits = [e.iteration_reached(point.iteration)
+                         for e in lagging]
+                yield env.any_of(waits + [env.timeout(max(minibatch, 0.05))])
+            if point.offset:
+                yield env.timeout(point.offset * minibatch)
+            job = runner.manager.current_job
+            injector.apply(point.to_event(env.now, job, minibatch))
+            if (point.type is FailureType.NETWORK_TRANSIENT
+                    and point.duration):
+                yield env.timeout(point.duration * minibatch)
+                target = point.resolve_target(job)
+                injector.cluster.fabric.uplink(target).repair()
+
+    env.process(armer(), name="oracle-armer")
+
+
+def _run_managed(strategy: str, spec: WorkloadSpec,
+                 schedule: FailureSchedule, iterations: int,
+                 mutations: Sequence[str]) -> StrategyRun:
+    if mutations:
+        raise ValueError(
+            f"mutations {list(mutations)} target device proxies; strategy "
+            f"{strategy!r} has none (use a transparent-family strategy)")
+    env = Environment()
+    tracer = Tracer()
+    store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
+    runner = _build_managed_runner(strategy, env, spec, store, iterations,
+                                   tracer)
+    run = StrategyRun(strategy=strategy, losses=[], outcome="ok",
+                      rework_bound=rework_bound(strategy, schedule),
+                      telemetry=getattr(runner, "telemetry", None),
+                      tracer=tracer)
+    registry = getattr(runner, "registry", None)
+    if registry is not None:
+        _guard_garbage_collect(registry, run.gc_violations)
+    _record_resume_points(runner, run.resume_points)
+    injector = FailureInjector(env, runner.manager.cluster, tracer=tracer)
+    _arm_managed(env, runner, injector, spec, schedule)
+    report = runner.execute()
+    run.losses = list(report.final_losses)
+    run.completed = report.completed
+    run.generations = list(report.generations)
+    run.events = env.events_processed
+    if not report.completed:
+        run.outcome = "unrecoverable"
+        run.detail = (report.generations[-1].detail
+                      if report.generations else "did not complete")
+    return run
+
+
+# -- entry point ----------------------------------------------------------------------
+
+
+def run_strategy(strategy: str, spec: WorkloadSpec,
+                 schedule: FailureSchedule, iterations: int,
+                 mutations: Sequence[str] = ()) -> StrategyRun:
+    """Run *schedule* under *strategy* and collect oracle evidence."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"choose from {STRATEGIES}")
+    unknown = [m for m in mutations if m not in MUTATIONS]
+    if unknown:
+        raise ValueError(f"unknown mutations {unknown}; "
+                         f"choose from {sorted(MUTATIONS)}")
+    variant = spec_variant(spec, strategy)
+    if strategy in TRANSPARENT_FAMILY:
+        return _run_transparent_family(strategy, variant, schedule,
+                                       iterations, mutations)
+    return _run_managed(strategy, variant, schedule, iterations, mutations)

@@ -40,6 +40,10 @@ class BaseEngine:
         self.param_buffers: dict[str, DeviceBuffer] = {}
         #: name -> DeviceBuffer for optimizer moments.
         self.opt_buffers: dict[str, DeviceBuffer] = {}
+        #: (target_iteration, event) pairs waiting on progress — succeeded
+        #: by the ``iteration`` setter, so waiters (failure injectors,
+        #: instrumentation) never have to busy-poll the simulator clock.
+        self._iteration_waiters: list = []
         #: Next iteration to execute (the checkpointed resume point).
         self.iteration = 0
         #: Iteration this engine (re)started computing from: 0 for a cold
@@ -61,6 +65,39 @@ class BaseEngine:
         #: Human-readable shard id; equal across data-parallel replicas so
         #: replicas read each other's checkpoint files (Section 3.3).
         self.shard_id = "full"
+
+    # -- progress conditions -----------------------------------------------------------
+
+    @property
+    def iteration(self) -> int:
+        """Next iteration to execute (the checkpointed resume point)."""
+        return self._iteration
+
+    @iteration.setter
+    def iteration(self, value: int) -> None:
+        self._iteration = value
+        if self._iteration_waiters:
+            still_waiting = []
+            for target, event in self._iteration_waiters:
+                if value >= target:
+                    if not event.triggered:
+                        event.succeed(value)
+                else:
+                    still_waiting.append((target, event))
+            self._iteration_waiters = still_waiting
+
+    def iteration_reached(self, target: int):
+        """Event that fires once this engine's iteration reaches *target*.
+
+        Already-satisfied targets return an already-succeeded event, so
+        callers can ``yield`` it unconditionally.
+        """
+        event = self.api.env.event(name=f"iter-reached:{target}")
+        if self._iteration >= target:
+            event.succeed(self._iteration)
+        else:
+            self._iteration_waiters.append((target, event))
+        return event
 
     # -- parameter plumbing ------------------------------------------------------------
 
@@ -98,29 +135,62 @@ class BaseEngine:
             self._rng_snapshot = fresh.get_state()
             self._rng_snapshot_iteration = iteration
 
-    def _rng_state_for_checkpoint(self):
+    def _rng_state_for_checkpoint(self, resume_iteration: int):
         if self.rng is None:
             return None
-        if self._rng_snapshot_iteration == self.iteration:
-            # Mid-iteration (a JIT checkpoint during a hang): the resume
-            # point is this iteration's start.
+        if self._rng_snapshot_iteration == resume_iteration:
             return self._rng_snapshot
-        # Between iterations (periodic checkpoint): the live state IS the
-        # next iteration's start state.
-        return self.rng.get_state()
+        # Every iteration begins by reseeding (a pure function of the
+        # iteration index), so the resume point's stream state can always
+        # be re-derived, however far the live stream has advanced.
+        fresh = type(self.rng)(self.rng.seed, self.rng.stream_key)
+        fresh.reseed(resume_iteration)
+        return fresh.get_state()
+
+    @property
+    def applied_iteration(self) -> int:
+        """Iterations whose optimizer update has actually executed.
+
+        ``iteration`` counts *enqueued* minibatches: the CPU bumps it when
+        it enqueues the optimizer and runs ahead.  If the device dies with
+        that optimizer kernel still queued, the parameter arrays are one
+        version behind the counter — the paper's Section 3.3 i-vs-i+1
+        checkpoint case.  The optimizer's step counter only advances when
+        the kernel thunk executes, so it names the version the arrays
+        actually hold.
+        """
+        if self.optimizer is None:
+            return self.iteration
+        steps = getattr(self.optimizer, "step_count", None)
+        if steps is None:
+            return self.iteration
+        return min(self.iteration, int(steps))
 
     def state_dict(self) -> dict:
-        """CPU-side snapshot of everything needed to resume this shard."""
+        """CPU-side snapshot of everything needed to resume this shard.
+
+        Labelled with :attr:`applied_iteration`, not the run-ahead
+        counter: a checkpoint taken from a device that died mid-optimizer
+        honestly claims the version its arrays hold, so checkpoint
+        assembly can prefer a replica that got further.
+        """
+        applied = self.applied_iteration
+        history = list(self.loss_history)
+        behind = self.iteration - applied
+        if behind > 0 and history:
+            # Losses are appended at the enqueue point, ahead of the
+            # optimizer kernel; drop the ones past the resume point.
+            history = history[:-behind] if behind < len(history) else []
         return {
-            "iteration": self.iteration,
+            "iteration": applied,
             "shard_id": self.shard_id,
             "model": self.config.name,
             "params": {name: buf.array.copy()
                        for name, buf in self.param_buffers.items()},
             "optimizer": self.optimizer.state_dict(),
             "scheduler": self.scheduler.state_dict(),
-            "loss_history": list(self.loss_history),
-            "rng": self._rng_state_for_checkpoint(),
+            "loss_history": history,
+            "rng": self._rng_state_for_checkpoint(applied),
         }
 
     def load_state_dict(self, state: dict) -> None:

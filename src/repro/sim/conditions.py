@@ -41,6 +41,11 @@ class Condition(Event):
         if not sub._ok:
             sub.defuse()
             self.fail(sub._value)
+            if not self.callbacks:
+                # No process is attached (the waiter was killed and detached
+                # while the condition was pending): nobody can observe this
+                # failure, so it must not crash the whole run.
+                self.defuse()
             return
         self._count += 1
         if self._check():

@@ -148,12 +148,45 @@ def report_perf() -> None:
           "refresh with benchmarks/run_perf_baseline.py)")
 
 
+def report_oracle() -> None:
+    """Recovery-equivalence fuzz sweep across every recovery strategy."""
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.oracle import STRATEGIES
+
+    print("\nRecovery-equivalence oracle — seeded chaos fuzz across all "
+          "strategies")
+    _rule()
+    campaign = CampaignSpec.oracle_grid(
+        "report-oracle", strategies=STRATEGIES, seeds=[7], fuzz_count=3,
+        target_iterations=16)
+    result = CampaignRunner(workers=1).run(campaign)
+    total_checks = 0
+    total_failures = 0
+    print(f"{'Strategy':<12} {'checks':>7} {'failing':>8}  verdicts")
+    for outcome in result.outcomes:
+        metrics = outcome.metrics
+        total_checks += metrics["checks"]
+        total_failures += metrics["failures"]
+        print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
+              f"{metrics['failures']:>8}  {', '.join(metrics['outcomes'])}")
+        for violation in metrics["violations"]:
+            print(f"    {violation}")
+        for schedule in metrics["failing_schedules"]:
+            print(f"    repro: python -m repro.oracle replay --strategy "
+                  f"{metrics['strategy']} --schedule '{schedule}'")
+    status = ("zero invariant violations" if total_failures == 0
+              else f"{total_failures} FAILING CHECKS")
+    print(f"\n{total_checks} checks across {len(STRATEGIES)} strategies: "
+          f"{status}")
+
+
 SECTIONS = {
     "table3": report_table3,
     "table8": report_table8,
     "s51": report_s51,
     "recommend": report_recommendation,
     "perf": report_perf,
+    "oracle": report_oracle,
 }
 
 

@@ -138,7 +138,7 @@ class TrainingJob:
             engines.append(DataParallelEngine(
                 self.apis[rank], comm, spec.config, self.cost, self.dataset,
                 dp_rank=rank, dp_world=world, seed=spec.seed,
-                dropout=spec.dropout))
+                optimizer_kind=spec.optimizer, dropout=spec.dropout))
         return engines
 
     def _build_3d(self) -> list[ThreeDEngine]:
@@ -169,7 +169,8 @@ class TrainingJob:
             engines.append(ThreeDEngine(
                 self.apis[rank], layout, rank, comms,
                 spec.config, self.cost, self.dataset,
-                n_microbatches=spec.n_microbatches, seed=spec.seed))
+                n_microbatches=spec.n_microbatches, seed=spec.seed,
+                optimizer_kind=spec.optimizer))
         return engines
 
     def _build_fsdp(self) -> list[FsdpEngine]:
@@ -204,7 +205,8 @@ class TrainingJob:
                 self.apis[rank], rank, world, shard_comm, shard_rank=slot,
                 shard_world=shard_world, replica_comm=replica_comm,
                 config=spec.config, cost=self.cost, dataset=self.dataset,
-                seed=spec.seed, world_comm=world_comm))
+                seed=spec.seed, optimizer_kind=spec.optimizer,
+                world_comm=world_comm))
         return engines
 
     # -- teardown ------------------------------------------------------------------------

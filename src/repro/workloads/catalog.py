@@ -40,6 +40,10 @@ class WorkloadSpec:
     #: Dropout probability (DDP engine only); > 0 exercises RNG-state
     #: checkpointing.
     dropout: float = 0.0
+    #: Optimizer kind for every rank (see framework.optim registry).
+    #: Swift-style rollback recovery requires an invertible optimizer
+    #: ("invertible_sgd"); the Table 2 runs all use Adam.
+    optimizer: str = "adam"
     seed: int = 1234
 
     @property

@@ -82,6 +82,63 @@ def test_user_level_recovery_exact_under_random_failures(
     assert report.final_losses == _BASELINE[0]
 
 
+@given(seed=st.integers(0, 10_000),
+       shape=st.sampled_from(["back_to_back_hard", "during_recovery",
+                              "multi_mixed"]))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_transparent_recovery_exact_under_fuzzed_multi_failures(seed, shape):
+    """Two failures per run — distinct targets, distinct (or overlapping)
+    iterations — drawn from the oracle's schedule fuzzer.  Recovery must
+    stay bitwise-exact through both."""
+    from repro.oracle import ScheduleFuzzer
+
+    schedule = ScheduleFuzzer(seed, world_size=4, min_iteration=2,
+                              max_iteration=ITERS - 3).draw(shape=shape)
+    assert len(schedule) == 2
+    assert len({p.target_rank for p in schedule.points}) == 2
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(env, _SPEC, store=store, config=JitConfig())
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    for point in schedule.points:
+        injector.arm_at_iteration(
+            point.to_event(0.0, job, _SPEC.minibatch_time), job.engines,
+            point.iteration, offset=point.offset * _SPEC.minibatch_time)
+    losses = system.run_training(job, ITERS)
+    assert losses == _BASELINE, schedule.describe()
+    assert system.telemetry.records, "recovery episodes must have run"
+
+
+def test_transparent_recovery_exact_with_network_transient_overlap():
+    """The fuzzer's transient_overlap shape on a two-node job: a link flap
+    with a GPU failure landing while the link is still degraded."""
+    from repro.oracle import ScheduleFuzzer
+
+    spec = make_spec(layout=ParallelLayout(dp=12), num_nodes=2,
+                     minibatch_time=0.05, global_batch=24)
+    iters = 80
+    baseline = TrainingJob(spec).run_training(iters)
+    schedule = ScheduleFuzzer(17, world_size=12, min_iteration=60,
+                              max_iteration=70,
+                              include_network=True).draw(
+                                  shape="transient_overlap")
+    kinds = {p.failure_type for p in schedule.points}
+    assert "NETWORK_TRANSIENT" in kinds and len(kinds) == 2
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(env, spec, store=store, config=JitConfig())
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    for point in schedule.points:
+        injector.arm_at_iteration(
+            point.to_event(0.0, job, spec.minibatch_time), job.engines,
+            point.iteration, offset=point.offset * spec.minibatch_time)
+    losses = system.run_training(job, iters)
+    assert losses == baseline, schedule.describe()
+
+
 def test_campaigns_are_deterministic_per_seed():
     """Two identical campaigns produce identical reports, event for event."""
     from repro.failures import PoissonSchedule

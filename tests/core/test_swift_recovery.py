@@ -1,0 +1,109 @@
+"""End-to-end tests for Swift-style rollback recovery.
+
+Swift's contribution over plain transparent recovery: when a failure
+leaves accessible ranks on mixed parameter versions, advanced ranks undo
+their last optimizer step instead of behind ranks copying from a replica.
+Exactness must hold either way; these tests pin both the exactness and
+the fact that the rollback path is actually exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import JitConfig, SwiftJitSystem
+from repro.core.swift_recovery import SwiftRecoveryCoordinator
+from repro.failures import FailureEvent, FailureInjector, FailureType
+from repro.parallel.topology import ParallelLayout
+from repro.sim import Environment
+from repro.storage import SharedObjectStore
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+ITERS = 30
+
+
+def swift_spec(**kwargs):
+    kwargs.setdefault("layout", ParallelLayout(dp=4))
+    kwargs.setdefault("minibatch_time", 0.05)
+    kwargs.setdefault("optimizer", "invertible_sgd")
+    return make_spec(**kwargs)
+
+
+def run_swift(spec, failures, iters=ITERS):
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = SwiftJitSystem(env, spec, store=store, config=JitConfig())
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.arm(failures)
+    losses = system.run_training(job, iters)
+    return system, job, losses
+
+
+def test_swift_system_uses_swift_coordinator():
+    spec = swift_spec()
+    system, job, _ = run_swift(spec, failures=[], iters=5)
+    assert isinstance(system.coordinator, SwiftRecoveryCoordinator)
+
+
+def test_swift_rejects_noninvertible_optimizer():
+    spec = swift_spec(optimizer="adam")
+    with pytest.raises(ValueError, match="invertible"):
+        SwiftJitSystem(Environment(), spec)
+
+
+def test_swift_failure_free_matches_plain():
+    spec = swift_spec()
+    baseline = TrainingJob(spec).run_training(ITERS)
+    system, job, losses = run_swift(spec, failures=[])
+    assert losses == baseline
+    assert system.telemetry.records == []
+
+
+def test_swift_exact_across_failure_offsets():
+    """Sweep failure offsets across a steady-state minibatch so failures
+    land in forward, backward, all-reduce and optimizer phases.  Recovery
+    must stay bitwise-exact everywhere, and at least one offset must hit
+    the mixed-version window where Swift's rollback (not a replica copy)
+    resolves the skew."""
+    spec = swift_spec()
+    baseline = TrainingJob(spec).run_training(ITERS)
+    rollback_hits = 0
+    for offset in np.linspace(0.0, 0.1, 6):
+        failure = FailureEvent(2.0 + float(offset),
+                               FailureType.GPU_DRIVER_CORRUPT, "node0/gpu1")
+        system, job, losses = run_swift(spec, [failure])
+        assert losses == baseline, f"offset {offset}"
+        assert system.telemetry.by_kind("transient")
+        rollback_hits += system.coordinator.rollbacks
+    assert rollback_hits > 0, "no offset exercised the rollback path"
+
+
+def test_swift_rollback_avoids_replica_copy():
+    """When the rollback path fires, the behind rank's reset must be the
+    cheap local one — state is never pulled across the fabric."""
+    spec = swift_spec()
+    baseline = TrainingJob(spec).run_training(ITERS)
+    for offset in np.linspace(0.0, 0.1, 12):
+        failure = FailureEvent(2.0 + float(offset),
+                               FailureType.GPU_DRIVER_CORRUPT, "node0/gpu1")
+        system, job, losses = run_swift(spec, [failure])
+        if system.coordinator.rollbacks:
+            assert losses == baseline
+            record = system.telemetry.by_kind("transient")[0]
+            # Rolled back to the previous version: both minibatches replay.
+            assert record.notes["base_version"] == record.notes["minibatch"] - 1
+            return
+    pytest.fail("no offset exercised the rollback path")
+
+
+def test_swift_sticky_failure_still_exact():
+    """A sticky failure leaves the failed rank's memory inaccessible, so
+    Swift still needs the replica-copy path for it; exactness holds."""
+    spec = swift_spec()
+    baseline = TrainingJob(spec).run_training(ITERS)
+    failure = FailureEvent(2.02, FailureType.GPU_STICKY, "node0/gpu1")
+    system, job, losses = run_swift(spec, [failure])
+    assert losses == baseline
+    assert system.telemetry.by_kind("transient")

@@ -107,6 +107,67 @@ def test_failure_event_describe():
     assert "network_transient" in text and "node0" in text
 
 
+def test_arm_at_iteration_event_count_flat_as_poll_shrinks():
+    """arm_at_iteration waits on an iteration-reached condition, so the
+    simulator event count must not grow as the (legacy) poll interval
+    shrinks — the busy-poll regression dense campaigns used to hit."""
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob
+
+    from tests.conftest import make_spec
+
+    def run(poll):
+        spec = make_spec(layout=ParallelLayout(dp=2), minibatch_time=0.05)
+        job = TrainingJob(spec)
+        injector = FailureInjector(job.env, job.cluster)
+        injector.arm_at_iteration(
+            FailureEvent(0.0, FailureType.GPU_STICKY, "node0/gpu1"),
+            job.engines, iteration=18, poll=poll)
+        # No recovery attached: the sticky GPU simply marks state; the
+        # run itself finishes and we count raw simulator events.
+        try:
+            job.run_training(20)
+        except Exception:
+            pass
+        assert injector.injected, "failure must have landed"
+        return job.env.events_processed
+
+    coarse = run(poll=0.05)
+    fine = run(poll=0.0005)
+    assert fine == coarse, (
+        f"event count must be independent of poll ({coarse} vs {fine})")
+
+
+def test_arm_at_iteration_lands_at_iteration():
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob
+
+    from tests.conftest import make_spec
+
+    spec = make_spec(layout=ParallelLayout(dp=2), minibatch_time=0.05)
+    job = TrainingJob(spec)
+    injector = FailureInjector(job.env, job.cluster)
+    injector.arm_at_iteration(
+        FailureEvent(0.0, FailureType.GPU_DRIVER_CORRUPT, "node0/gpu0"),
+        job.engines, iteration=5)
+    at_injection = {}
+
+    original_apply = injector.apply
+
+    def spy(event):
+        at_injection["iterations"] = [e.iteration for e in job.engines]
+        original_apply(event)
+
+    injector.apply = spy
+    try:
+        job.run_training(12)
+    except Exception:
+        pass
+    assert min(at_injection["iterations"]) >= 5
+    # Fired as soon as the condition held, not a poll interval later.
+    assert min(at_injection["iterations"]) == 5
+
+
 def test_gpu_state_accessibility_classification():
     assert FailureType.GPU_DRIVER_CORRUPT.gpu_state_accessible
     assert not FailureType.GPU_STICKY.gpu_state_accessible

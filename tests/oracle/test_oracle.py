@@ -1,0 +1,144 @@
+"""End-to-end oracle tests: real strategies, real schedules.
+
+Tier-1 keeps one representative check per strategy family plus the
+broken-strategy detection proof; the all-strategy fuzz sweeps are marked
+``fuzz`` and run via ``pytest -m fuzz`` (see docs/testing.md).
+"""
+
+import pytest
+
+from repro.oracle import (FailurePoint, FailureSchedule, RecoveryOracle,
+                          STRATEGIES, default_oracle_spec, shrink)
+from repro.oracle.strategies import run_strategy
+
+ITERS = 12
+
+SINGLE = FailureSchedule(points=(
+    FailurePoint(3, "GPU_DRIVER_CORRUPT", 1, offset=0.4),))
+
+MULTI = FailureSchedule(points=(
+    FailurePoint(3, "GPU_HARD", 1, offset=0.3),
+    FailurePoint(6, "GPU_STICKY", 2, offset=0.8),))
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return RecoveryOracle(iterations=ITERS)
+
+
+def test_single_failure_exact_across_all_strategies(oracle):
+    for strategy in STRATEGIES:
+        verdict = oracle.check(SINGLE, strategy)
+        assert verdict.passed, verdict.describe()
+
+
+def test_multi_failure_exact_for_jit_strategies(oracle):
+    for strategy in ("transparent", "swift", "user_level"):
+        verdict = oracle.check(MULTI, strategy)
+        assert verdict.passed, verdict.describe()
+
+
+def test_swift_golden_uses_invertible_optimizer(oracle):
+    assert oracle.golden("swift") != oracle.golden("transparent")
+    assert oracle.golden("transparent") == oracle.golden("periodic")
+
+
+def test_failure_during_recovery_shape(oracle):
+    schedule = oracle.fuzzer(31).draw(shape="during_recovery")
+    verdict = oracle.check(schedule, "transparent")
+    assert verdict.passed, verdict.describe()
+
+
+def test_unknown_strategy_and_mutation_rejected():
+    spec = default_oracle_spec()
+    with pytest.raises(ValueError, match="unknown strategy"):
+        run_strategy("magic", spec, SINGLE, ITERS)
+    with pytest.raises(ValueError, match="unknown mutations"):
+        run_strategy("transparent", spec, SINGLE, ITERS,
+                     mutations=("break_everything",))
+    with pytest.raises(ValueError, match="transparent-family"):
+        run_strategy("periodic", spec, SINGLE, ITERS,
+                     mutations=("skip_rng_rewind",))
+
+
+def test_broken_strategy_caught_and_shrunk_to_minimal_schedule():
+    """The acceptance check: a strategy that skips the RNG rewind before
+    replay must be flagged as inexact, and the failing multi-point
+    schedule must shrink to a minimal one-point reproducer with a replay
+    command."""
+    spec = default_oracle_spec(dropout=0.1)
+    broken = RecoveryOracle(spec=spec, iterations=ITERS,
+                            mutations=("skip_rng_rewind",))
+    schedule = FailureSchedule(points=(
+        FailurePoint(6, "GPU_STICKY", 2, offset=0.7),
+        FailurePoint(3, "GPU_DRIVER_CORRUPT", 1, offset=0.4),))
+    verdict = broken.check(schedule, "transparent")
+    assert not verdict.passed
+    assert any(v.invariant == "exactness" for v in verdict.violations)
+
+    result = shrink(broken, schedule, "transparent")
+    assert len(result.minimal) == 1
+    assert "python -m repro.oracle replay" in result.repro
+    assert not broken.check(result.minimal, "transparent").passed
+
+    # The same workload and schedule pass without the mutation.
+    healthy = RecoveryOracle(spec=spec, iterations=ITERS)
+    assert healthy.check(schedule, "transparent").passed
+
+
+def test_cli_replay_round_trip(capsys):
+    from repro.oracle.__main__ import main
+
+    code = main(["replay", "--strategy", "transparent",
+                 "--iterations", str(ITERS),
+                 "--schedule", SINGLE.to_json()])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exact" in out
+
+
+def test_campaign_oracle_scenario_executes():
+    from repro.campaign.runner import execute_scenario
+    from repro.campaign.spec import KIND_ORACLE, ORACLE_WORKLOAD, ScenarioSpec
+
+    spec = ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                        strategy="transparent", seed=3,
+                        schedule=SINGLE.to_json(), fuzz_count=0,
+                        target_iterations=ITERS)
+    result = execute_scenario(spec)
+    assert result["metrics"]["passed"]
+    assert result["metrics"]["checks"] == 1
+    assert result["perf"]["events"] > 0
+    assert "oracle" in result["scenario_id"]
+
+
+def test_campaign_oracle_spec_validation():
+    from repro.campaign.spec import KIND_ORACLE, ORACLE_WORKLOAD, ScenarioSpec
+
+    with pytest.raises(ValueError, match="strategy"):
+        ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                     strategy="warp_drive", fuzz_count=1)
+    with pytest.raises(ValueError, match="exactly one"):
+        ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                     strategy="swift")
+    spec = ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                        strategy="swift", fuzz_count=2)
+    assert spec.content_hash()  # picklable + hashable for the cache
+
+
+@pytest.mark.fuzz
+def test_fuzz_sweep_all_strategies_zero_violations():
+    oracle = RecoveryOracle(iterations=16)
+    report = oracle.sweep(seed=7, count=5)
+    failing = "\n".join(v.describe() for v in report.failures)
+    assert report.passed, failing
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [11, 23])
+def test_fuzz_sweep_transparent_family_deep(seed):
+    oracle = RecoveryOracle(iterations=16)
+    report = oracle.sweep(seed=seed, count=8,
+                          strategies=("transparent", "swift"))
+    failing = "\n".join(v.describe() for v in report.failures)
+    assert report.passed, failing

@@ -1,0 +1,111 @@
+"""Unit tests for failure schedules and the seeded chaos fuzzer."""
+
+import pickle
+
+import pytest
+
+from repro.failures.types import FailureType
+from repro.oracle import FailurePoint, FailureSchedule, ScheduleFuzzer
+from repro.oracle.schedule import GPU_ERRORS, NETWORK_SHAPES, SHAPES
+from repro.workloads import TrainingJob
+
+from tests.conftest import make_spec
+
+
+def test_fuzzer_is_deterministic_per_seed():
+    a = [s for s in ScheduleFuzzer(42).schedules(12)]
+    b = [s for s in ScheduleFuzzer(42).schedules(12)]
+    assert a == b
+    c = [s for s in ScheduleFuzzer(43).schedules(12)]
+    assert a != c
+
+
+def test_fuzzer_round_robins_all_shapes():
+    drawn = [s.shape for s in ScheduleFuzzer(1).schedules(len(SHAPES))]
+    assert drawn == list(SHAPES)
+
+
+def test_schedules_pickle_and_json_round_trip():
+    for schedule in ScheduleFuzzer(9, include_network=True).schedules(12):
+        assert pickle.loads(pickle.dumps(schedule)) == schedule
+        assert FailureSchedule.from_json(schedule.to_json()) == schedule
+
+
+def test_points_sorted_by_iteration_then_offset():
+    schedule = FailureSchedule(points=(
+        FailurePoint(5, "GPU_HARD", 0),
+        FailurePoint(2, "GPU_STICKY", 1, offset=0.9),
+        FailurePoint(2, "GPU_HARD", 2, offset=0.1),
+    ))
+    assert [(p.iteration, p.offset) for p in schedule.points] == [
+        (2, 0.1), (2, 0.9), (5, 0.0)]
+
+
+def test_opt_boundary_shape_targets_optimizer_window():
+    fuzzer = ScheduleFuzzer(3)
+    for _ in range(6):
+        schedule = fuzzer.draw(shape="opt_boundary")
+        (point,) = schedule.points
+        assert point.failure_type == "GPU_DRIVER_CORRUPT"
+        assert 0.85 <= point.offset <= 1.15
+
+
+def test_multi_failure_shapes_use_distinct_targets():
+    fuzzer = ScheduleFuzzer(5)
+    for shape in ("back_to_back_hard", "during_recovery", "multi_mixed"):
+        for _ in range(4):
+            schedule = fuzzer.draw(shape=shape)
+            assert len(schedule) == 2
+            ranks = {p.target_rank for p in schedule.points}
+            assert len(ranks) == 2, f"{shape} reused a rank"
+
+
+def test_during_recovery_second_point_lands_inside_episode():
+    fuzzer = ScheduleFuzzer(11)
+    schedule = fuzzer.draw(shape="during_recovery")
+    first, second = schedule.points
+    assert first.iteration == second.iteration
+    assert second.offset - first.offset >= 1.6  # > settle time
+
+
+def test_network_shapes_opt_in():
+    assert "transient_overlap" not in ScheduleFuzzer(1).shapes
+    fuzzer = ScheduleFuzzer(1, include_network=True)
+    assert "transient_overlap" in fuzzer.shapes
+    schedule = fuzzer.draw(shape="transient_overlap")
+    kinds = {p.failure_type for p in schedule.points}
+    assert "NETWORK_TRANSIENT" in kinds
+    assert kinds & set(GPU_ERRORS)
+    flap = next(p for p in schedule.points
+                if p.failure_type == "NETWORK_TRANSIENT")
+    assert flap.duration > 0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError, match="unknown failure type"):
+        FailurePoint(1, "GPU_MELTED", 0)
+    with pytest.raises(ValueError, match="unknown shapes"):
+        ScheduleFuzzer(1, shapes=("nope",))
+    with pytest.raises(ValueError, match="max_iteration"):
+        ScheduleFuzzer(1, min_iteration=5, max_iteration=5)
+
+
+def test_resolve_target_maps_ranks_to_hardware():
+    from repro.parallel.topology import ParallelLayout
+
+    job = TrainingJob(make_spec(layout=ParallelLayout(dp=4)))
+    gpu_point = FailurePoint(2, "GPU_HARD", 1)
+    assert gpu_point.resolve_target(job) == job.contexts[1].gpu.gpu_id
+    node_point = FailurePoint(2, "NETWORK_TRANSIENT", 1, duration=10.0)
+    assert node_point.resolve_target(job) == job.contexts[1].node.name
+    event = node_point.to_event(0.0, job, minibatch_time=0.05)
+    assert event.failure_type is FailureType.NETWORK_TRANSIENT
+    assert event.duration == pytest.approx(0.5)
+
+
+def test_schedule_edit_helpers():
+    schedule = ScheduleFuzzer(2).draw(shape="multi_mixed")
+    assert len(schedule.without(0)) == 1
+    edited = schedule.with_point(0, offset=0.0)
+    assert any(p.offset == 0.0 for p in edited.points)
+    assert len(edited) == len(schedule)

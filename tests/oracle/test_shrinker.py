@@ -1,0 +1,92 @@
+"""Shrinker tests against a fake oracle (no simulation in the loop)."""
+
+import pytest
+
+from repro.oracle import FailurePoint, FailureSchedule, shrink
+from repro.oracle.shrinker import MIN_ITERATION, repro_command
+
+
+class FakeOracle:
+    """Duck-typed oracle whose check() applies a predicate to the schedule."""
+
+    def __init__(self, fails_when):
+        self.fails_when = fails_when
+        self.iterations = 12
+        self.checks = 0
+
+    def check(self, schedule, strategy):
+        self.checks += 1
+        failing = self.fails_when(schedule)
+
+        class _Verdict:
+            passed = not failing
+
+        return _Verdict()
+
+
+def wide_schedule():
+    return FailureSchedule(points=(
+        FailurePoint(8, "GPU_STICKY", 2, offset=0.75),
+        FailurePoint(5, "GPU_HARD", 0, offset=1.2),
+        FailurePoint(3, "GPU_DRIVER_CORRUPT", 1, offset=0.4),
+    ))
+
+
+def test_shrink_drops_irrelevant_points_and_minimizes_fields():
+    oracle = FakeOracle(lambda s: any(p.failure_type == "GPU_STICKY"
+                                      for p in s.points))
+    result = shrink(oracle, wide_schedule(), "transparent")
+    assert len(result.minimal) == 1
+    (point,) = result.minimal.points
+    assert point.failure_type == "GPU_STICKY"
+    assert point.iteration == MIN_ITERATION
+    assert point.offset == 0.0
+    assert result.accepted > 0
+    assert oracle.checks == result.attempts
+
+
+def test_shrink_is_deterministic():
+    def run():
+        oracle = FakeOracle(lambda s: len(s.points) >= 2)
+        return shrink(oracle, wide_schedule(), "swift").minimal
+
+    assert run() == run()
+
+
+def test_shrink_preserves_failure_when_both_points_needed():
+    oracle = FakeOracle(lambda s: len(s.points) >= 2)
+    result = shrink(oracle, wide_schedule(), "transparent")
+    assert len(result.minimal) == 2
+    assert not oracle.check(result.minimal, "transparent").passed
+    # 1-minimal: removing either remaining point makes the schedule pass.
+    for index in range(len(result.minimal)):
+        assert oracle.check(result.minimal.without(index),
+                            "transparent").passed
+
+
+def test_shrink_rejects_passing_schedule():
+    oracle = FakeOracle(lambda s: False)
+    with pytest.raises(ValueError, match="nothing to shrink"):
+        shrink(oracle, wide_schedule(), "transparent")
+
+
+def test_shrink_minimizes_duration():
+    sched = FailureSchedule(points=(
+        FailurePoint(4, "NETWORK_TRANSIENT", 0, offset=0.5, duration=200.0),))
+    oracle = FakeOracle(lambda s: s.points[0].duration > 10.0)
+    result = shrink(oracle, sched, "transparent")
+    (point,) = result.minimal.points
+    assert 10.0 < point.duration <= 25.0  # halved until the predicate flips
+
+
+def test_repro_command_round_trips_through_json():
+    result_schedule = FailureSchedule(points=(
+        FailurePoint(2, "GPU_HARD", 1),))
+    command = repro_command(result_schedule, "transparent", 12)
+    assert "python -m repro.oracle replay" in command
+    assert "--strategy transparent" in command
+    # The quoted JSON payload must parse back to the same schedule.
+    payload = command.split("--schedule ")[1]
+    if payload.startswith("'"):
+        payload = payload[1:-1]
+    assert FailureSchedule.from_json(payload) == result_schedule

@@ -220,3 +220,31 @@ def test_fsdp_shards_cut_param_memory():
     full_bytes = spec.config.checkpoint_bytes
     for ctx in job.contexts:
         assert ctx.gpu.allocated_bytes < full_bytes / 4
+
+
+# -- checkpoint version labelling ------------------------------------------------------
+
+
+def test_state_dict_labels_device_applied_version():
+    """A checkpoint from a device that died with the optimizer kernel still
+    queued must claim the version its arrays actually hold (the Section
+    3.3 i-vs-i+1 case), not the CPU's run-ahead counter."""
+    spec = make_spec(layout=ParallelLayout(dp=2))
+    job, _ = run_job(spec, iters=4)
+    engine = job.engines[0]
+    assert engine.applied_iteration == engine.iteration == 4
+    settled = engine.state_dict()
+    assert settled["iteration"] == 4
+    assert len(settled["loss_history"]) == 4
+
+    # Simulate run-ahead past an optimizer kernel that never executed:
+    # the host enqueued minibatch 4's update and bumped the counter, but
+    # the device failed first, so step_count stays behind.
+    engine.iteration = 5
+    engine.loss_history.append(123.0)
+    assert engine.optimizer.step_count == 4
+    assert engine.applied_iteration == 4
+    behind = engine.state_dict()
+    assert behind["iteration"] == 4
+    assert behind["loss_history"] == settled["loss_history"]
+    assert behind["optimizer"]["step_count"] == 4

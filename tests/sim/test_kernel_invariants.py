@@ -245,3 +245,58 @@ def test_events_processed_counter_tracks_dispatch():
     env.run()
     # 10 timeouts + 1 process-init event + the process completion event.
     assert env.events_processed == 12
+
+
+# -- orphaned conditions ---------------------------------------------------------------
+
+
+def test_orphaned_condition_failure_does_not_crash_run():
+    """A condition whose waiter was killed must absorb sub-event failures.
+
+    Found by the recovery oracle: a worker killed mid device-synchronize
+    leaves its AllOf subscribed to stream ops; when recovery aborts those
+    ops, the condition used to fail un-defused and crash env.run().
+    """
+    from repro.sim import AllOf
+
+    env = Environment()
+    a, b = env.event(name="op-a"), env.event(name="op-b")
+
+    def waiter():
+        yield AllOf(env, [a, b])
+
+    proc = env.process(waiter(), name="waiter")
+
+    def killer_then_abort():
+        yield env.timeout(1.0)
+        proc.kill()
+        yield env.timeout(1.0)
+        a.fail(RuntimeError("aborted for recovery"))
+        a.defuse()
+        yield env.timeout(1.0)
+
+    env.run(until=env.process(killer_then_abort()))
+    assert not proc.is_alive
+
+
+def test_condition_failure_still_raises_into_live_waiter():
+    env = Environment()
+    a = env.event(name="op-a")
+    seen = []
+
+    def waiter():
+        try:
+            yield AnyOf(env, [a])
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    env.process(waiter(), name="waiter")
+
+    def failer():
+        yield env.timeout(1.0)
+        a.fail(RuntimeError("boom"))
+        a.defuse()
+        yield env.timeout(1.0)
+
+    env.run(until=env.process(failer()))
+    assert seen == ["boom"]
