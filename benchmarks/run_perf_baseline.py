@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Refresh the simulator performance baseline (``BENCH_simulator.json``).
+"""Refresh or check the simulator performance baseline.
 
 Runs every scenario in ``bench_simulator_perf.PERF_SCENARIOS`` a few
-times, keeps the best wall-clock, and writes events-per-second per bench
-to a JSON baseline committed at the repo root — so the kernel's perf
-trajectory is tracked across PRs and regressions show up in review.
+times and keeps the best wall-clock per bench.  Two modes:
+
+* default — rewrite ``BENCH_simulator.json``: the ``benches`` section
+  holds the current run's best-of-rounds (what reviews diff), and a
+  timestamped entry is appended to the ``history`` list so the perf
+  trajectory is tracked PR-over-PR instead of overwritten.
+* ``--check`` — measure, compare events/sec against the committed
+  baseline without writing anything, and exit non-zero when any bench
+  regresses by more than ``--threshold`` (default 20%).  CI's perf-smoke
+  job runs this with ``--quick`` (fewer rounds).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_perf_baseline.py [output.json]
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py --quick --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -26,14 +35,17 @@ import repro
 from benchmarks.bench_simulator_perf import PERF_SCENARIOS
 
 ROUNDS = 5
+QUICK_ROUNDS = 2
+#: History entries retained (one per refresh; oldest dropped first).
+HISTORY_LIMIT = 50
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
-def measure(name: str, scenario) -> dict:
+def measure(name: str, scenario, rounds: int) -> dict:
     scenario()  # warm-up round (imports, caches, allocator)
     best_wall = float("inf")
     events = 0
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         start = time.perf_counter()
         env = scenario()
         wall = time.perf_counter() - start
@@ -47,24 +59,87 @@ def measure(name: str, scenario) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    output = Path(args[0]) if args else DEFAULT_OUTPUT
-    baseline = {
-        "version": repro.__version__,
-        "python": platform.python_version(),
-        "rounds": ROUNDS,
-        "benches": {},
-    }
+def run_benches(rounds: int) -> dict:
+    benches = {}
     for name, scenario in PERF_SCENARIOS.items():
-        result = measure(name, scenario)
-        baseline["benches"][name] = result
+        result = measure(name, scenario, rounds)
+        benches[name] = result
         print(f"{name:<34} {result['events']:>8} events  "
               f"{result['best_wall_seconds']:>9.4f}s  "
               f"{result['events_per_sec']:>10,} ev/s")
-    output.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n",
-                      encoding="utf-8")
-    print(f"\nwrote {output}")
+    return benches
+
+
+def load_existing(output: Path) -> dict:
+    try:
+        return json.loads(output.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {}
+
+
+def check_regressions(benches: dict, existing: dict, threshold: float) -> int:
+    """Compare events/sec to the committed baseline; returns the exit code."""
+    committed = existing.get("benches", {})
+    if not committed:
+        print("no committed baseline to check against")
+        return 1
+    failures = 0
+    for name, result in benches.items():
+        base = committed.get(name)
+        if base is None:
+            print(f"{name}: no committed baseline entry, skipping")
+            continue
+        baseline_rate = base["events_per_sec"]
+        rate = result["events_per_sec"]
+        delta = (rate - baseline_rate) / baseline_rate
+        status = "ok"
+        if delta < -threshold:
+            status = f"REGRESSION (>{threshold:.0%} below baseline)"
+            failures += 1
+        print(f"{name:<34} {rate:>10,} ev/s vs {baseline_rate:>10,} "
+              f"({delta:+.1%})  {status}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run {QUICK_ROUNDS} rounds instead of {ROUNDS}")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline instead "
+                             "of rewriting it; non-zero exit on regression")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional events/sec regression "
+                             "in --check mode (default 0.20)")
+    args = parser.parse_args(argv)
+
+    rounds = QUICK_ROUNDS if args.quick else ROUNDS
+    benches = run_benches(rounds)
+    existing = load_existing(args.output)
+
+    if args.check:
+        return check_regressions(benches, existing, args.threshold)
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "benches": benches,
+    }
+    history = existing.get("history", [])
+    history.append(entry)
+    baseline = {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "benches": benches,
+        "history": history[-HISTORY_LIMIT:],
+    }
+    args.output.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output}")
     return 0
 
 

@@ -17,7 +17,12 @@ pattern into infrastructure:
 See ``docs/performance.md`` for the design and determinism guarantees.
 """
 
-from repro.campaign.aggregate import aggregate_results, canonical_json, percentile
+from repro.campaign.aggregate import (
+    StreamingAggregator,
+    aggregate_results,
+    canonical_json,
+    percentile,
+)
 from repro.campaign.cache import ResultCache
 from repro.campaign.runner import (
     CampaignResult,
@@ -25,10 +30,12 @@ from repro.campaign.runner import (
     ScenarioOutcome,
     execute_scenario,
 )
+from repro.campaign.shmstore import ShmResultStore
 from repro.campaign.spec import (
     DEFAULT_CAMPAIGN_MIX,
     CampaignSpec,
     ScenarioSpec,
+    code_fingerprint,
 )
 
 __all__ = [
@@ -39,8 +46,11 @@ __all__ = [
     "ResultCache",
     "ScenarioOutcome",
     "ScenarioSpec",
+    "ShmResultStore",
+    "StreamingAggregator",
     "aggregate_results",
     "canonical_json",
+    "code_fingerprint",
     "execute_scenario",
     "percentile",
 ]

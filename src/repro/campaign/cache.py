@@ -1,7 +1,7 @@
 """Content-addressed disk cache for scenario results.
 
 One JSON file per scenario, named by the scenario's content hash
-(configuration + package version, see
+(configuration + code fingerprint, see
 :meth:`~repro.campaign.spec.ScenarioSpec.content_hash`).  Writes are
 atomic (tmp file + rename) so a campaign killed mid-write never leaves a
 truncated entry behind, and concurrent workers publishing the same hash

@@ -22,13 +22,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.shmstore import DEFAULT_SLOT_BYTES, HAVE_SHM, ShmResultStore
 from repro.campaign.spec import (KIND_ANALYTIC, KIND_ORACLE, ORACLE_WORKLOAD,
                                  CampaignSpec, ScenarioSpec)
 from repro.core.telemetry import CampaignPerf
@@ -241,6 +242,29 @@ def execute_scenario(spec: ScenarioSpec) -> dict:
     return _execute_campaign_scenario(spec)
 
 
+def _execute_scenario_slot(args) -> tuple[int, Optional[dict]]:
+    """Pool entry point: run a scenario, publish its result via shared memory.
+
+    Returns ``(position, None)`` when the result landed in its shm slot —
+    the parent reads it from the segment, so only two small ints travel
+    through the pool's pickle channel — or ``(position, result)`` when no
+    segment is available or the result overflowed its slot.
+    """
+    spec, shm_name, position, slots, slot_bytes = args
+    result = execute_scenario(spec)
+    if shm_name is not None and HAVE_SHM:
+        try:
+            store = ShmResultStore.attach(shm_name, slots, slot_bytes)
+        except Exception:
+            return position, result
+        try:
+            if store.write(position, result):
+                return position, None
+        finally:
+            store.close()
+    return position, result
+
+
 @dataclass
 class ScenarioOutcome:
     """One scenario's result plus where it came from."""
@@ -289,17 +313,38 @@ class CampaignRunner:
     deterministic functions of their spec; only dispatch order varies with
     the worker count, and outcomes are always reassembled in campaign
     order.
+
+    With ``use_shm`` (the default where ``multiprocessing.shared_memory``
+    works), workers publish results through a fixed-slot shared-memory
+    segment and return only their slot index, keeping per-scenario pickle
+    round-trips off the pool's result queue; see
+    :mod:`repro.campaign.shmstore`.  Oversized results degrade to the
+    pickle path per scenario, never to an error.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None, use_shm: bool = True,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES):
         import os
 
         self.cache = cache
         self.workers = max(_MIN_WORKERS, workers if workers is not None
                            else (os.cpu_count() or 1))
+        self.use_shm = use_shm and HAVE_SHM
+        self.slot_bytes = slot_bytes
 
-    def run(self, campaign: CampaignSpec) -> CampaignResult:
+    def run(self, campaign: CampaignSpec,
+            on_outcome: Optional[Callable[[int, "ScenarioOutcome"], None]]
+            = None) -> CampaignResult:
+        """Run the campaign; ``on_outcome(index, outcome)`` streams results.
+
+        The callback fires once per scenario as its result becomes
+        available — cache hits immediately, fresh results in worker
+        completion order — so a streaming consumer (e.g.
+        :class:`~repro.campaign.aggregate.StreamingAggregator`) never
+        waits for the full grid.  ``CampaignResult.outcomes`` is always
+        reassembled in campaign order regardless.
+        """
         start = time.perf_counter()
         perf = CampaignPerf()
         results: dict[int, dict] = {}
@@ -313,13 +358,16 @@ class CampaignRunner:
                 results[index] = hit
                 cached[index] = True
                 perf.cache_hits += 1
+                if on_outcome is not None:
+                    on_outcome(index, ScenarioOutcome(spec, hit, True))
             else:
                 pending.append((index, spec))
 
         if pending:
             perf.cache_misses = len(pending)
-            fresh = self._execute(pending)
-            for (index, spec), result in zip(pending, fresh):
+
+            def publish(position: int, result: dict) -> None:
+                index, spec = pending[position]
                 results[index] = result
                 cached[index] = False
                 perf.record_run(spec.scenario_id,
@@ -327,18 +375,70 @@ class CampaignRunner:
                                 result["perf"]["wall_seconds"])
                 if self.cache is not None:
                     self.cache.put(spec.content_hash(), result)
+                if on_outcome is not None:
+                    on_outcome(index, ScenarioOutcome(spec, result, False))
+
+            self._execute(pending, publish)
 
         perf.wall_seconds = time.perf_counter() - start
         outcomes = [ScenarioOutcome(spec, results[i], cached[i])
                     for i, spec in enumerate(campaign.scenarios)]
         return CampaignResult(campaign=campaign, outcomes=outcomes, perf=perf)
 
+    def run_aggregated(self, campaign: CampaignSpec
+                       ) -> tuple[CampaignResult, list[dict]]:
+        """Run the campaign with results streamed into the aggregator.
+
+        Equivalent to ``(result, result.aggregate())`` but the aggregation
+        consumes each scenario result as it arrives instead of a second
+        pass over the materialised row list.
+        """
+        from repro.campaign.aggregate import StreamingAggregator
+
+        aggregator = StreamingAggregator()
+        result = self.run(campaign, on_outcome=lambda index, outcome:
+                          aggregator.add(index, outcome.result))
+        return result, aggregator.result()
+
     # -- dispatch ------------------------------------------------------------
 
-    def _execute(self, pending: list[tuple[int, ScenarioSpec]]) -> list[dict]:
+    def _execute(self, pending: list[tuple[int, ScenarioSpec]],
+                 publish: Callable[[int, dict], None]) -> None:
+        """Execute scenarios, calling ``publish(position, result)`` as each
+        finishes (positions index into *pending*)."""
         specs = [spec for _index, spec in pending]
         if self.workers == 1 or len(specs) == 1:
-            return [execute_scenario(spec) for spec in specs]
+            for position, spec in enumerate(specs):
+                publish(position, execute_scenario(spec))
+            return
         max_workers = min(self.workers, len(specs))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(execute_scenario, specs))
+        store: Optional[ShmResultStore] = None
+        if self.use_shm:
+            try:
+                store = ShmResultStore.create(len(specs), self.slot_bytes)
+            except Exception:
+                store = None  # no /dev/shm (or exhausted): plain pickles
+        shm_name = store.name if store is not None else None
+        slot_bytes = store.slot_bytes if store is not None else 0
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(_execute_scenario_slot,
+                                (spec, shm_name, position, len(specs),
+                                 slot_bytes))
+                    for position, spec in enumerate(specs)]
+                for future in as_completed(futures):
+                    position, inline = future.result()
+                    if inline is not None:
+                        result = inline
+                    else:
+                        result = store.read(position)
+                        if result is None:
+                            raise RuntimeError(
+                                f"scenario {position} reported success but "
+                                f"its shm slot is empty")
+                    publish(position, result)
+        finally:
+            if store is not None:
+                store.close()
+                store.unlink()

@@ -1,0 +1,134 @@
+"""Shared-memory result slots for streaming scenario results.
+
+``ProcessPoolExecutor`` normally returns every scenario result by
+pickling it through the result queue — fine for dozens of scenarios,
+measurable overhead for 10k-scenario grids where each result is a small
+JSON dict.  :class:`ShmResultStore` gives the pool a fixed-slot shared
+memory segment instead: the worker serialises its result straight into
+slot *i* and returns only the slot index; the parent deserialises from
+the segment as completions stream in, so the pool's pickle channel
+carries a single integer per scenario.
+
+Layout: ``slots`` fixed-size records, each an 8-byte little-endian
+payload length followed by ``slot_bytes - 8`` bytes of UTF-8 JSON.  A
+length of zero means "empty"; a result too large for its slot is the
+worker's problem — it returns the dict through the normal pickle path
+and leaves the slot empty (correctness never depends on the fast path).
+
+The parent owns the segment lifecycle (``close`` + ``unlink``); workers
+attach read-write and detach without unlinking.  On Python >= 3.8 the
+``resource_tracker`` in each worker would otherwise *also* try to clean
+the segment up at interpreter exit and warn about a leak, so
+:meth:`attach` suppresses tracker registration while mapping — the
+workaround until ``track=False`` (3.13) is our floor.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+try:  # pragma: no cover - exercised indirectly via availability flag
+    from multiprocessing import resource_tracker, shared_memory
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - stdlib always has it on CPython
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
+_LEN = struct.Struct("<Q")
+
+#: Default per-result budget; campaign result dicts are ~1-2 KiB of JSON.
+DEFAULT_SLOT_BYTES = 16384
+
+
+class ShmResultStore:
+    """Fixed-slot shared-memory store for JSON-serialisable result dicts."""
+
+    def __init__(self, shm, slots: int, slot_bytes: int, owner: bool):
+        self._shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._owner = owner
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, slots: int,
+               slot_bytes: int = DEFAULT_SLOT_BYTES) -> "ShmResultStore":
+        """Parent side: allocate a zeroed segment for *slots* results."""
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        if slot_bytes <= _LEN.size:
+            raise ValueError(f"slot_bytes must exceed the {_LEN.size}-byte "
+                             f"length header")
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=slots * slot_bytes)
+        shm.buf[:] = bytes(len(shm.buf))
+        return cls(shm, slots, slot_bytes, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "ShmResultStore":
+        """Worker side: map an existing segment without owning it.
+
+        Registration is suppressed during the map rather than undone
+        after it: under the fork start method workers share the parent's
+        resource tracker, so an ``unregister`` here would clobber the
+        parent's own registration and its eventual ``unlink`` would then
+        trip a KeyError inside the tracker process.
+        """
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "ShmResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+    # -- slots -------------------------------------------------------------
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self.slots:
+            raise IndexError(f"slot {index} out of range 0..{self.slots - 1}")
+        return index * self.slot_bytes
+
+    def write(self, index: int, result: dict) -> bool:
+        """Serialise *result* into slot *index*; False if it doesn't fit."""
+        base = self._check(index)
+        payload = json.dumps(result, separators=(",", ":")).encode()
+        if len(payload) > self.slot_bytes - _LEN.size:
+            return False
+        start = base + _LEN.size
+        self._shm.buf[start:start + len(payload)] = payload
+        # Length goes last: a reader never sees a non-zero length ahead of
+        # its payload bytes.
+        self._shm.buf[base:base + _LEN.size] = _LEN.pack(len(payload))
+        return True
+
+    def read(self, index: int) -> Optional[dict]:
+        """Deserialise slot *index*; None while the slot is empty."""
+        base = self._check(index)
+        (length,) = _LEN.unpack_from(self._shm.buf, base)
+        if length == 0:
+            return None
+        start = base + _LEN.size
+        return json.loads(bytes(self._shm.buf[start:start + length]))

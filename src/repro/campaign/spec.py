@@ -17,9 +17,46 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
 from typing import Iterable, Optional
 
 import repro
+
+#: Package subtrees whose source feeds :func:`code_fingerprint` — the
+#: layers that determine simulated event streams and timing.  A change
+#: anywhere here (e.g. macro-event coalescing, rendezvous batching)
+#: must invalidate cached scenario results even when ``__version__``
+#: wasn't bumped, or warm caches silently mix result dicts produced by
+#: different simulator kernels.
+_FINGERPRINT_SUBTREES = ("sim", "cuda", "nccl", "hardware")
+
+
+@lru_cache(maxsize=1)
+def _source_fingerprint() -> str:
+    digest = hashlib.sha256(repro.__version__.encode())
+    root = Path(repro.__file__).parent
+    for subtree in _FINGERPRINT_SUBTREES:
+        for path in sorted((root / subtree).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def code_fingerprint() -> str:
+    """Package version + kernel-layer source hash + fast-path state.
+
+    Folded into every :meth:`ScenarioSpec.content_hash`, so editing the
+    simulator kernel, the CUDA/stream layer or the NCCL layer — or
+    toggling ``REPRO_FAST_PATH`` — starts campaigns from a cold cache
+    instead of serving results recorded under different event semantics.
+    The source hash is computed once per process; the fast-path bit is
+    read per call because tests flip it at runtime.
+    """
+    from repro.sim import fastpath
+
+    suffix = "+fast" if fastpath.enabled() else "+slow"
+    return _source_fingerprint() + suffix
 
 #: Default failure mix for campaign scenarios: the recoverable single-GPU
 #: classes (whole-node crashes need the JIT+periodic combo and replica
@@ -130,14 +167,15 @@ class ScenarioSpec:
         return out
 
     def content_hash(self) -> str:
-        """Cache key: scenario configuration plus the package version.
+        """Cache key: scenario configuration plus the code fingerprint.
 
-        Bumping ``repro.__version__`` therefore invalidates every cached
-        result, which is the correct default when simulator behaviour may
-        have changed.
+        The fingerprint covers ``repro.__version__``, the kernel-layer
+        source (:func:`code_fingerprint`), and the fast-path toggle, so
+        both version bumps *and* unreleased simulator edits invalidate
+        every cached result.
         """
         payload = json.dumps({"scenario": self.config(),
-                              "version": repro.__version__},
+                              "fingerprint": code_fingerprint()},
                              sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -307,6 +307,13 @@ class DeviceProxyApi(DeviceApi):
             "all_reduce", comm, (vbuf, op), stream,
             lambda c: c.all_reduce(self.rank, vbuf, stream.physical, op))
 
+    def all_reduce_batch(self, comm, vbufs, stream, op: ReduceOp = ReduceOp.SUM):
+        vbufs = tuple(vbufs)
+        self._collective(
+            "all_reduce_batch", comm, (vbufs, op), stream,
+            lambda c: c.all_reduce_batch(self.rank, list(vbufs),
+                                         stream.physical, op))
+
     def broadcast(self, comm, vbuf, root: int, stream):
         self._collective(
             "broadcast", comm, (vbuf, root), stream,
@@ -516,8 +523,8 @@ class DeviceProxyApi(DeviceApi):
         elif method == "memcpy_d2h":
             host, vbuf, vstream = record.args
             self.memcpy_d2h_async(host, vbuf, vstream)
-        elif method in ("all_reduce", "broadcast", "all_gather",
-                        "reduce_scatter", "send", "recv"):
+        elif method in ("all_reduce", "all_reduce_batch", "broadcast",
+                        "all_gather", "reduce_scatter", "send", "recv"):
             self._reissue_collective(record)
         elif method == "comm_init":
             pass  # communicators are re-initialised by the coordinator
@@ -535,6 +542,9 @@ class DeviceProxyApi(DeviceApi):
         if method == "all_reduce":
             vbuf, op = middle
             self.all_reduce(comm, vbuf, vstream, op)
+        elif method == "all_reduce_batch":
+            vbufs, op = middle
+            self.all_reduce_batch(comm, vbufs, vstream, op)
         elif method == "broadcast":
             vbuf, root = middle
             self.broadcast(comm, vbuf, root, vstream)
@@ -606,9 +616,9 @@ class DeviceProxyApi(DeviceApi):
                     _vstream, name, duration, thunk = record.args
                     self.launch_kernel(stream, f"validation:{name}",
                                        duration, thunk)
-                elif record.method in ("all_reduce", "broadcast",
-                                       "all_gather", "reduce_scatter",
-                                       "send", "recv"):
+                elif record.method in ("all_reduce", "all_reduce_batch",
+                                       "broadcast", "all_gather",
+                                       "reduce_scatter", "send", "recv"):
                     self._reissue_collective(record, stream_override=stream)
                 elif record.method == "memcpy_h2d":
                     host, vbuf, _vstream = record.args

@@ -332,14 +332,20 @@ class RecoveryCoordinator:
                                "registry and a CRIU manager")
         hard_set = set(hard_ranks)
 
-        # Healthy ranks JIT-checkpoint their GPU state to the shared store.
+        # Healthy, version-consistent ranks JIT-checkpoint their GPU state
+        # to the shared store.  A rank that froze *before* its in-flight
+        # optimizer step ran (e.g. a driver corruption immediately followed
+        # by this hard error) holds stale version-(base-1) parameters: it
+        # must not write — it restores from a replica's file instead, the
+        # hard-path analogue of the transient path's wave-2 replica copy.
         span = self.telemetry.begin(record, "jit_checkpoint")
         checkpoint_times: dict[int, float] = {}
         writes = [self.env.process(
             self._timed(self._write_gpu_checkpoint(p, base),
                         checkpoint_times, p.rank),
             name=f"hardckpt:rank{p.rank}")
-            for p in self.proxies if p not in hard_set]
+            for p in self.proxies if p not in hard_set
+            and p.ctx.gpu.is_accessible and p.completed_steps == base]
         yield self.env.all_of(writes)
         record.notes["checkpoint_time_by_rank"] = checkpoint_times
         record.notes["failed_ranks"] = sorted(p.rank for p in hard_ranks)
@@ -360,6 +366,14 @@ class RecoveryCoordinator:
             gpu, node = self._allocate_replacement_gpu()
             new_ctx = CudaContext(self.env, gpu, node, tracer=self.tracer)
             proxy.restart_proxy(new_ctx)
+        # Surviving ranks whose GPU carries recoverable driver/sticky state
+        # (a transient failure overlapped this hard error) get the same
+        # proxy restart the transient path would have given them.
+        for proxy in self.proxies:
+            if proxy in hard_set:
+                continue
+            if proxy.ctx.gpu.health is not GpuHealth.HEALTHY:
+                self._restart_proxy(proxy, proxy.ctx.gpu)
         restores = [self.env.process(
             self.criu.restore(self.config.job_id, self.epoch, p.rank),
             name=f"criu-restore:rank{p.rank}") for p in self.proxies]

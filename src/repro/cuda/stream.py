@@ -9,6 +9,22 @@ Execution semantics reproduced from real CUDA:
   is exactly the deadlock Section 3.2 of the paper works around;
 * a kernel on a failed GPU never completes (hang) rather than erroring, so
   failures must be detected by watchdog timeout, as in the paper.
+
+Macro-event fast path
+---------------------
+When `repro.sim.fastpath` is enabled and the stream is untraced, the
+executor coalesces a maximal run of consecutive ``KernelOp``s (and
+PCIe-free ``MemcpyOp``s) at the queue head into one *macro chain*: a
+single simulator timeout spans the whole run, and on wake every op's
+thunk executes in order with ``started_at``/``finished_at`` set from
+precomputed offsets.  Chains split at wait/record ops, collectives,
+PCIe-arbitrated copies, and at any op whose ``done`` event has been
+observed (such an op may only *end* a chain, so its ``done`` still fires
+at its natural finish time).  On abort, stream destruction or a GPU
+epoch change mid-chain, `_settle_chain` completes exactly the prefix of
+ops that finished before the first failure transition and hangs/fails
+the rest — bit-identical recovery behaviour to the one-event-per-op
+path.
 """
 
 from __future__ import annotations
@@ -21,6 +37,7 @@ from repro.cuda.errors import CudaApiError, CudaError
 from repro.cuda.event import CudaEvent
 from repro.hardware.gpu import Gpu
 from repro.sim import Environment, Event, Process, Resource, Tracer
+from repro.sim import fastpath
 
 _stream_ids = itertools.count()
 _op_ids = itertools.count()
@@ -34,17 +51,35 @@ def _fail_defused(event: Event, exc: BaseException) -> None:
 
 
 class StreamOp:
-    """Base class for everything that can sit in a stream FIFO."""
+    """Base class for everything that can sit in a stream FIFO.
+
+    The ``done`` event is materialised lazily: most ops are never waited
+    on individually (callers synchronise through recorded events or
+    ``sync_marker``), so allocating and dispatching a completion event per
+    op would be pure overhead.  An op whose ``done`` was never observed
+    credits one logical event on completion to keep ``events_processed``
+    comparable with the historical eager behaviour.
+    """
 
     def __init__(self, name: str):
         self.op_id = next(_op_ids)
         self.name = name
-        self.done: Optional[Event] = None  # bound when enqueued
+        self._env: Optional[Environment] = None
+        self._done: Optional[Event] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
     def bind(self, env: Environment) -> None:
-        self.done = env.event(name=f"done:{self.name}#{self.op_id}")
+        self._env = env
+
+    @property
+    def done(self) -> Event:
+        if self._done is None:
+            if self._env is None:
+                raise CudaApiError(CudaError.INVALID_HANDLE,
+                                   f"{self.name} not enqueued on a stream")
+            self._done = self._env.event(name=f"done:{self.name}#{self.op_id}")
+        return self._done
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name}#{self.op_id}>"
@@ -127,6 +162,9 @@ class CudaStream:
         self.error: Optional[CudaError] = None
         self.aborted = False
         self.destroyed = False
+        #: (ops, start time, end offsets) of an in-flight macro chain, so
+        #: abort()/destroy() can settle the completed prefix first.
+        self._active_chain: Optional[tuple[list[StreamOp], float, list[float]]] = None
         self._executor: Process = env.process(self._run(), name=f"exec:{self.name}")
         #: Completed op names in order (used by tests and figure traces).
         self.completed_ops: list[str] = []
@@ -169,6 +207,16 @@ class CudaStream:
         self.aborted = True
         self.error = self.error or error
         self._executor.kill()
+        if self._active_chain is not None:
+            # Ops of the coalesced chain that already finished before the
+            # abort (or before the GPU's failure transition) completed in
+            # the one-event-per-op path; settle them before failing the
+            # remainder so both paths fail the exact same set of ops.
+            chain, start, ends = self._active_chain
+            self._active_chain = None
+            cutoff = min(self.env.now, self._epoch_cutoff(start))
+            count = self._settled_count(chain, start, ends, cutoff)
+            self._complete_chain(chain, start, ends, count)
         exc = CudaApiError(error, f"{self.name} aborted for recovery")
         while self._queue:
             op = self._queue.popleft()
@@ -191,6 +239,131 @@ class CudaStream:
     def _gpu_ok(self) -> bool:
         return self.gpu.is_usable and self.gpu.epoch == self._creation_epoch
 
+    # -- macro chains ----------------------------------------------------------
+
+    @staticmethod
+    def _chainable(op: StreamOp) -> bool:
+        kind = type(op)
+        if kind is KernelOp:
+            return True
+        if kind is MemcpyOp:
+            return op.pcie is None
+        return False
+
+    def _collect_chain(self) -> list[StreamOp]:
+        """Maximal coalescable run at the queue head.
+
+        An op whose ``done`` event is already materialised may only end a
+        chain: its waiters expect the event at the op's natural finish
+        time, which coincides with the chain end only in last position.
+        """
+        chain: list[StreamOp] = []
+        for op in self._queue:
+            if not self._chainable(op):
+                break
+            chain.append(op)
+            if op._done is not None:
+                break
+        return chain
+
+    def _epoch_cutoff(self, start: float) -> float:
+        """Time of the GPU's first epoch transition at/after *start*."""
+        for when in self.gpu.epoch_times:
+            if when >= start:
+                return when
+        return float("inf")
+
+    @staticmethod
+    def _settled_count(chain: list[StreamOp], start: float,
+                       ends: list[float], cutoff: float) -> int:
+        """How many leading chain ops finished by *cutoff*.
+
+        An op ending exactly at the failure transition completes, matching
+        the one-event-per-op path where its timeout fires before the
+        executor re-checks GPU health.
+        """
+        count = 0
+        for end in ends:
+            if end > cutoff:
+                break
+            count += 1
+        return count
+
+    def _complete_chain(self, chain: list[StreamOp], start: float,
+                        ends: list[float], count: int) -> None:
+        """Retire the first *count* chain ops (thunks, dones, bookkeeping)."""
+        env = self.env
+        elided = 0
+        previous_end = start
+        for index in range(count):
+            op = chain[index]
+            op.started_at = previous_end
+            op.finished_at = ends[index]
+            previous_end = ends[index]
+            if op.thunk is not None:
+                op.thunk()
+            self.completed_ops.append(op.name)
+            self._queue.popleft()
+            done = op._done
+            if done is None:
+                elided += 1
+            elif not done.triggered:
+                done.succeed(op)
+            self.tracer.record(op.finished_at, self.name, "op_done", op=op.name,
+                               started=op.started_at)
+        if count < len(chain):
+            # The next op was in flight when the GPU failed; it started but
+            # never finishes, as in the one-event-per-op path.
+            chain[count].started_at = previous_end
+        if elided:
+            env.credit_events(elided)
+
+    def _run_chain(self, chain: list[StreamOp]):
+        env = self.env
+        start = env.now
+        # Absolute per-op end times, accumulated one addition per timed op
+        # exactly as the per-op path's now + d sequence would: summing the
+        # durations first and adding once rounds differently in the last
+        # ulp, and the equivalence oracle compares clocks bit for bit.
+        ends: list[float] = []
+        finish = start
+        timed_ops = 0
+        for op in chain:
+            duration = op.duration
+            if duration > 0:
+                finish = finish + duration
+                timed_ops += 1
+            ends.append(finish)
+        self._active_chain = (chain, start, ends)
+        if finish > start:
+            yield env.timeout_at(finish)
+        self._active_chain = None
+        if self._gpu_ok():
+            if timed_ops > 1:
+                # The off path dispatches one timeout per timed op; the
+                # chain dispatched exactly one.
+                env.credit_events(timed_ops - 1)
+            self._complete_chain(chain, start, ends, len(chain))
+            return
+        # GPU failed (or was reset) while the chain slept: complete the
+        # prefix that finished before the first epoch transition, then hang.
+        cutoff = self._epoch_cutoff(start)
+        count = self._settled_count(chain, start, ends, cutoff)
+        settled_timed = sum(1 for index in range(count) if ends[index] >
+                            (ends[index - 1] if index else start))
+        # Off path: one timeout per completed timed op, plus the in-flight
+        # op's timeout still fires (the executor wakes, sees the failure
+        # and parks).  The chain dispatched one.
+        in_flight_timed = (count < len(chain)
+                           and ends[count] > (ends[count - 1] if count else start))
+        credit = settled_timed + (1 if in_flight_timed else 0) - 1
+        if credit > 0:
+            env.credit_events(credit)
+        self._complete_chain(chain, start, ends, count)
+        yield from self._park()
+
+    # -- main loop ---------------------------------------------------------------
+
     def _run(self):
         env = self.env
         while True:
@@ -200,6 +373,16 @@ class CudaStream:
                 self._wakeup = None
                 continue
             op = self._queue[0]
+
+            if (self._chainable(op) and fastpath.enabled()
+                    and not self.tracer.enabled):
+                if not self._gpu_ok():
+                    yield from self._park()
+                chain = self._collect_chain()
+                if len(chain) > 1:
+                    yield from self._run_chain(chain)
+                    continue
+
             op.started_at = env.now
 
             if isinstance(op, WaitEventOp):
@@ -252,8 +435,11 @@ class CudaStream:
             op.finished_at = env.now
             self.completed_ops.append(op.name)
             self._queue.popleft()
-            if not op.done.triggered:
-                op.done.succeed(op)
+            done = op._done
+            if done is None:
+                env.credit_events(1)
+            elif not done.triggered:
+                done.succeed(op)
             self.tracer.record(env.now, self.name, "op_done", op=op.name,
                                started=op.started_at)
 

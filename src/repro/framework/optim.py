@@ -81,24 +81,63 @@ class Adam(Optimizer):
                  beta2: float = 0.999, eps: float = 1e-8):
         super().__init__(params, lr)
         self.beta1, self.beta2, self.eps = beta1, beta2, eps
-        self.m: ParamDict = {k: np.zeros_like(v) for k, v in params.items()}
-        self.v: ParamDict = {k: np.zeros_like(v) for k, v in params.items()}
+        # Moment state lives in one contiguous arena per moment; self.m /
+        # self.v expose per-param views so state_dict()/load_state_dict()
+        # and external readers (checkpoint capture) see ordinary dicts.
+        # The arena lets _apply run most of the update as a handful of
+        # whole-arena ufuncs instead of ~14 tiny ufunc calls per parameter
+        # — every op is elementwise, so values are bit-for-bit identical
+        # to the per-param formulation.
+        self._views: dict[str, tuple[slice, tuple[int, ...]]] = {}
+        total = 0
+        for name, value in params.items():
+            size = value.size
+            self._views[name] = (slice(total, total + size), value.shape)
+            total += size
+        self._flat_m = np.zeros(total)
+        self._flat_v = np.zeros(total)
+        self._flat_s = np.empty(total)
+        self._flat_t = np.empty(total)
+        self.m = self._view_dict(self._flat_m)
+        self.v = self._view_dict(self._flat_v)
+        self._grad_s = self._view_dict(self._flat_s)
+        self._grad_t = self._view_dict(self._flat_t)
+
+    def _view_dict(self, flat: np.ndarray) -> ParamDict:
+        return {name: flat[idx].reshape(shape)
+                for name, (idx, shape) in self._views.items()}
 
     def _apply(self, grads: ParamDict, lr: float) -> None:
+        # In-place formulation of
+        #   m = b1*m + (1-b1)*grad
+        #   v = b2*v + ((1-b2)*grad)*grad
+        #   param -= (lr*(m/bias1)) / (sqrt(v/bias2) + eps)
+        # Scalar multiplication commutes exactly in IEEE-754 and the
+        # original left-to-right association is preserved, so the
+        # checkpoint/replay equivalence oracles see identical parameter
+        # streams.
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self.step_count
         bias2 = 1.0 - b2**self.step_count
-        for name, param in self.params.items():
+        m, v, s, t = self._flat_m, self._flat_v, self._flat_s, self._flat_t
+        for name in self.params:
             grad = grads[name]
-            m = self.m[name]
-            v = self.v[name]
-            m *= b1
-            m += (1 - b1) * grad
-            v *= b2
-            v += (1 - b2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1 - b1, out=self._grad_s[name])
+            gt = self._grad_t[name]
+            np.multiply(grad, 1 - b2, out=gt)
+            gt *= grad
+        m *= b1
+        m += s
+        v *= b2
+        v += t
+        np.divide(m, bias1, out=s)
+        s *= lr
+        np.divide(v, bias2, out=t)
+        np.sqrt(t, out=t)
+        t += self.eps
+        s /= t
+        for name, param in self.params.items():
+            param -= self._grad_s[name]
 
     def state_dict(self) -> dict:
         state = super().state_dict()

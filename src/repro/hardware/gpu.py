@@ -47,6 +47,11 @@ class Gpu:
         #: Bumped on every health transition; the CUDA runtime uses it to
         #: invalidate in-flight work that predates a failure or a reset.
         self.epoch = 0
+        #: Simulation time of each epoch bump, in order.  The stream fast
+        #: path uses this to settle a coalesced op chain: ops that ended
+        #: before the first transition after the chain started completed,
+        #: later ones hang, exactly as if they had run one event each.
+        self.epoch_times: list[float] = []
 
     # -- health --------------------------------------------------------------
 
@@ -72,6 +77,7 @@ class Gpu:
             return  # dead devices stay dead
         self._health = health
         self.epoch += 1
+        self.epoch_times.append(self.env.now)
         self.tracer.record(self.env.now, self.gpu_id, "gpu_fail", health=health.value)
 
     def reset_driver(self) -> None:
@@ -85,6 +91,7 @@ class Gpu:
             raise RuntimeError(f"{self.gpu_id}: cannot reset a dead GPU")
         self._health = GpuHealth.HEALTHY
         self.epoch += 1
+        self.epoch_times.append(self.env.now)
         self._allocated_bytes = 0
         self.tracer.record(self.env.now, self.gpu_id, "gpu_reset")
 

@@ -16,7 +16,8 @@ from repro.cuda.runtime import CudaContext
 from repro.cuda.stream import CollectiveKernelOp, CudaStream, StreamOp
 from repro.nccl.cost import CollectiveCostModel
 from repro.nccl.errors import NcclError, NcclOpMismatch
-from repro.nccl.rendezvous import CollectiveInstance, ReduceOp
+from repro.nccl.rendezvous import (BatchedCollectiveInstance,
+                                   CollectiveInstance, ReduceOp)
 from repro.sim import Environment, Event, Tracer
 
 _comm_ids = itertools.count()
@@ -154,6 +155,42 @@ class NcclCommunicator:
         instance = self._instance_for(rank, "all_reduce", op)
         instance.register(rank, send=buf.array, recv=buf.array,
                           nbytes=buf.logical_nbytes)
+        return self._enqueue(rank, instance, stream)
+
+    def all_reduce_batch(self, rank: int, bufs: list, stream: CudaStream,
+                         op: ReduceOp = ReduceOp.SUM) -> StreamOp:
+        """Fused run of ``len(bufs)`` in-place all-reduces.
+
+        Consumes a single sequence number per rank; a rank issuing a
+        different batch size (or an unbatched collective) at the same
+        sequence raises :class:`NcclOpMismatch`, exactly like mismatched
+        collective kinds.  Semantics, timing and failure behaviour match
+        issuing the all-reduces back to back on *stream* — see
+        :class:`BatchedCollectiveInstance`.
+        """
+        if len(bufs) == 1:
+            return self.all_reduce(rank, bufs[0], stream, op)
+        self._check_alive()
+        seq = self._seq[rank]
+        self._seq[rank] += 1
+        instance = self._instances.get(seq)
+        if instance is None:
+            instance = BatchedCollectiveInstance(
+                self.env, "all_reduce", len(bufs), frozenset(self.handles),
+                duration_fn=lambda n: self.cost.all_reduce(n, self.nranks),
+                fabric=self.fabric, node_names=self.node_names,
+                reduce_op=op,
+                name=f"{self.name}:all_reduce_batch[{len(bufs)}]"
+                     f"#{seq}:g{self.generation}")
+            self._instances[seq] = instance
+        expected = f"all_reduce_batch[{len(bufs)}]"
+        if instance.kind != expected:
+            raise NcclOpMismatch(
+                f"{self.name} seq {seq}: rank {rank} issued {expected}, "
+                f"others issued {instance.kind}")
+        instance.register_batch(
+            rank, [(buf.array, buf.array, buf.logical_nbytes) for buf in bufs],
+            ok_fn=stream._gpu_ok)
         return self._enqueue(rank, instance, stream)
 
     def broadcast(self, rank: int, buf: DeviceBuffer, root: int,

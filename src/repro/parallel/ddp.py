@@ -26,6 +26,7 @@ from repro.nccl.communicator import NcclCommunicator
 from repro.nccl.rendezvous import ReduceOp
 from repro.parallel.base import BaseEngine
 from repro.parallel.deviceapi import DeviceApi
+from repro.sim import fastpath
 
 
 class DataParallelEngine(BaseEngine):
@@ -179,9 +180,17 @@ class DataParallelEngine(BaseEngine):
             ready = api.create_event(f"grads_ready:{tag}#{iteration}")
             api.event_record(ready, self.compute_stream)
             api.stream_wait_event(self.comm_stream, ready)
-            for name in names:
-                api.all_reduce(self.comm, grad_buffers[name],
-                               self.comm_stream, op=ReduceOp.MEAN)
+            if fastpath.enabled() and len(names) > 1:
+                # One rendezvous for the whole layer group's buckets; same
+                # per-bucket timing and data movement, far fewer simulator
+                # events.
+                api.all_reduce_batch(self.comm,
+                                     [grad_buffers[name] for name in names],
+                                     self.comm_stream, op=ReduceOp.MEAN)
+            else:
+                for name in names:
+                    api.all_reduce(self.comm, grad_buffers[name],
+                                   self.comm_stream, op=ReduceOp.MEAN)
             done = api.create_event(f"ar_done:{tag}#{iteration}")
             api.event_record(done, self.comm_stream)
             ar_done_events.append(done)

@@ -115,6 +115,11 @@ class DeviceApi:
                    op: ReduceOp = ReduceOp.SUM) -> StreamOp:
         return comm.all_reduce(self.rank, buf, stream, op)
 
+    def all_reduce_batch(self, comm: NcclCommunicator, bufs, stream,
+                         op: ReduceOp = ReduceOp.SUM) -> StreamOp:
+        """Fused run of in-place all-reduces (one rendezvous, one stream op)."""
+        return comm.all_reduce_batch(self.rank, list(bufs), stream, op)
+
     def broadcast(self, comm: NcclCommunicator, buf, root: int,
                   stream) -> StreamOp:
         return comm.broadcast(self.rank, buf, root, stream)

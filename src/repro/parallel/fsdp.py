@@ -31,6 +31,7 @@ from repro.nccl.rendezvous import ReduceOp
 from repro.parallel.base import BaseEngine
 from repro.parallel.buffers import allocate_group
 from repro.parallel.deviceapi import DeviceApi
+from repro.sim import fastpath
 
 
 def flatten_arrays(arrays: list[np.ndarray]) -> np.ndarray:
@@ -207,6 +208,13 @@ class FsdpEngine(BaseEngine):
 
         # ---- backward: regather -> compute -> reduce-scatter ---------------------
         grad_shard_bufs: dict[int, object] = {}
+        #: With the fast path on, the per-unit replica all-reduces are
+        #: deferred and issued as one batched rendezvous after backward:
+        #: the compute stream is FIFO, so the grad-norm kernel and the
+        #: optimizer still see fully reduced shards, and the iteration's
+        #: total stream time is unchanged (the same segment durations are
+        #: paid, just contiguously).
+        deferred_replica_bufs: list = []
 
         def reduce_unit(i: int, grads_flat_fn) -> None:
             """Scatter-reduce unit *i*'s gradients to this rank's slice."""
@@ -225,8 +233,11 @@ class FsdpEngine(BaseEngine):
             api.reduce_scatter(self.shard_comm, full_grad, shard_grad,
                                self.compute_stream, op=ReduceOp.MEAN)
             if self.replica_comm is not None and self.replica_comm.nranks > 1:
-                api.all_reduce(self.replica_comm, shard_grad,
-                               self.compute_stream, op=ReduceOp.MEAN)
+                if fastpath.enabled():
+                    deferred_replica_bufs.append(shard_grad)
+                else:
+                    api.all_reduce(self.replica_comm, shard_grad,
+                                   self.compute_stream, op=ReduceOp.MEAN)
             grad_shard_bufs[i] = shard_grad
 
         def head_grads_flat():
@@ -253,6 +264,10 @@ class FsdpEngine(BaseEngine):
             api.launch_kernel(self.compute_stream, f"bwd{i}", bwd_time,
                               lambda: None)
             reduce_unit(i, block_grads_flat)
+
+        if deferred_replica_bufs:
+            api.all_reduce_batch(self.replica_comm, deferred_replica_bufs,
+                                 self.compute_stream, op=ReduceOp.MEAN)
 
         # Global gradient norm across every rank: the all-or-none gate for
         # optimizer entry (matches Megatron/FSDP grad clipping traffic).

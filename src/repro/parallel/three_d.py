@@ -33,6 +33,7 @@ from repro.parallel.base import BaseEngine
 from repro.parallel.buffers import allocate_group
 from repro.parallel.deviceapi import DeviceApi
 from repro.parallel.topology import ParallelLayout
+from repro.sim import fastpath
 
 
 class ThreeDEngine(BaseEngine):
@@ -292,9 +293,15 @@ class ThreeDEngine(BaseEngine):
             ready = api.create_event(f"grads_ready#{iteration}")
             api.event_record(ready, self.compute_stream)
             api.stream_wait_event(self.comm_stream, ready)
-            for name in grad_buffers:
-                api.all_reduce(self.dp_comm, grad_buffers[name],
-                               self.comm_stream, op=ReduceOp.MEAN)
+            if fastpath.enabled() and len(grad_buffers) > 1:
+                # The whole iteration's dp gradient buckets share one
+                # rendezvous (same per-bucket timing and data movement).
+                api.all_reduce_batch(self.dp_comm, list(grad_buffers.values()),
+                                     self.comm_stream, op=ReduceOp.MEAN)
+            else:
+                for name in grad_buffers:
+                    api.all_reduce(self.dp_comm, grad_buffers[name],
+                                   self.comm_stream, op=ReduceOp.MEAN)
             done = api.create_event(f"ar_done#{iteration}")
             api.event_record(done, self.comm_stream)
             ar_done_events.append(done)

@@ -1,0 +1,44 @@
+"""Global switch for the macro-event fast path.
+
+The fast path coalesces runs of stream operations into single simulator
+events (`repro.cuda.stream`) and batches collective rendezvous
+(`repro.nccl.rendezvous`).  Both optimisations are *semantics-preserving*:
+simulated timestamps, loss streams and recovery behaviour are identical
+with the switch on or off — only the number of real heap dispatches (and
+therefore wall-clock time) changes.  ``Environment.credit_events`` keeps
+``events_processed`` comparable across the two modes.
+
+The switch is process-global rather than per-environment so that worker
+processes in a campaign pool inherit it from ``REPRO_FAST_PATH`` without
+any plumbing.  Set ``REPRO_FAST_PATH=0`` to disable.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = os.environ.get("REPRO_FAST_PATH", "1").lower() not in (
+    "0", "false", "off", "no")
+
+
+def enabled() -> bool:
+    """Is the macro-event fast path currently active?"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def fast_path(value: bool):
+    """Temporarily force the fast path on or off (used by equivalence tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -201,3 +201,120 @@ def test_analytic_scenario_executes_standalone():
     assert metrics["n"] == 1024
     assert 0 < metrics["user_jit"] < metrics["periodic"]
     assert metrics["transparent"] < metrics["user_jit"]
+
+
+# -- shared-memory result streaming ----------------------------------------------------
+
+
+def test_shm_result_store_roundtrip_and_overflow():
+    from repro.campaign import ShmResultStore
+
+    with ShmResultStore.create(slots=3, slot_bytes=256) as store:
+        assert store.read(0) is None
+        payload = {"metrics": {"restarts": 1}, "scenario_id": "x"}
+        assert store.write(0, payload)
+        assert store.read(0) == payload
+        # Writers and readers agree across an attach (same process here;
+        # the pool path exercises cross-process).
+        other = ShmResultStore.attach(store.name, 3, 256)
+        try:
+            assert other.read(0) == payload
+            assert other.write(2, {"k": "v"})
+        finally:
+            other.close()
+        assert store.read(2) == {"k": "v"}
+        # A result bigger than the slot is refused, not truncated.
+        assert not store.write(1, {"blob": "z" * 512})
+        assert store.read(1) is None
+        with pytest.raises(IndexError):
+            store.read(3)
+
+
+def test_streaming_run_matches_batch_aggregate(tmp_path):
+    from repro.campaign import StreamingAggregator
+
+    campaign = small_campaign("streaming")
+    runner = CampaignRunner(cache=None, workers=4)
+    result, streamed = runner.run_aggregated(campaign)
+    assert canonical_json(streamed) == canonical_json(result.aggregate())
+
+    # Tiny slots force every scenario through the pickle fallback; the
+    # outcome must be byte-identical.
+    cramped = CampaignRunner(cache=None, workers=4, slot_bytes=32)
+    _result2, streamed2 = cramped.run_aggregated(campaign)
+    assert canonical_json(streamed2) == canonical_json(streamed)
+
+    # Warm-cache streaming: every outcome arrives via the callback without
+    # touching a pool.
+    cache = ResultCache(tmp_path / "cache")
+    CampaignRunner(cache=cache, workers=2).run(campaign)
+    seen = []
+    warm = CampaignRunner(cache=cache, workers=2).run(
+        campaign, on_outcome=lambda i, o: seen.append((i, o.from_cache)))
+    assert warm.executed == 0
+    assert sorted(i for i, _ in seen) == list(range(len(campaign)))
+    assert all(from_cache for _, from_cache in seen)
+
+
+def test_streaming_aggregator_is_order_independent():
+    from repro.campaign import StreamingAggregator
+
+    def row(policy, seed, restarts):
+        return {
+            "scenario": {"kind": "campaign", "workload": "GPT2-S",
+                         "policy": policy, "seed": seed},
+            "metrics": {"completed": True, "failures": 1,
+                        "restarts": float(restarts), "wasted_time": 1.0,
+                        "wasted_fraction": 0.1, "goodput": 0.9,
+                        "losses_digest": "aaaa"},
+        }
+
+    rows = [row("user_jit", s, r) for s, r in enumerate((0, 2, 4))]
+    rows += [row("periodic", s, 1) for s in range(2)]
+    batch = aggregate_results(rows)
+    for order in ([0, 1, 2, 3, 4], [4, 2, 0, 3, 1], [3, 4, 0, 1, 2]):
+        agg = StreamingAggregator()
+        for index in order:
+            agg.add(index, rows[index])
+        assert canonical_json(agg.result()) == canonical_json(batch)
+
+
+def test_streaming_aggregator_analytic_passthrough():
+    from repro.campaign import StreamingAggregator
+
+    rows = [{
+        "scenario": {"kind": "analytic", "workload": "BERT-L-PT",
+                     "n_gpus": n},
+        "metrics": {"n": n, "periodic": 0.1 * i},
+    } for i, n in enumerate((1024, 2048))]
+    agg = StreamingAggregator()
+    agg.add(1, rows[1])
+    agg.add(0, rows[0])
+    assert canonical_json(agg.result()) == canonical_json(aggregate_results(rows))
+
+
+# -- code fingerprint --------------------------------------------------------------
+
+
+def test_content_hash_covers_code_fingerprint(monkeypatch):
+    from repro.campaign import code_fingerprint
+    from repro.campaign import spec as spec_mod
+
+    spec = ScenarioSpec(seed=5)
+    base = spec.content_hash()
+    fingerprint = code_fingerprint()
+    assert fingerprint.endswith(("+fast", "+slow"))
+
+    monkeypatch.setattr(spec_mod, "_source_fingerprint",
+                        lambda: "feedfacefeedface")
+    assert spec.content_hash() != base
+
+
+def test_content_hash_covers_fastpath_toggle(monkeypatch):
+    from repro.sim import fastpath
+
+    spec = ScenarioSpec(seed=5)
+    monkeypatch.setattr(fastpath, "enabled", lambda: True)
+    fast = spec.content_hash()
+    monkeypatch.setattr(fastpath, "enabled", lambda: False)
+    assert spec.content_hash() != fast

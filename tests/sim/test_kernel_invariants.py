@@ -300,3 +300,105 @@ def test_condition_failure_still_raises_into_live_waiter():
 
     env.run(until=env.process(failer()))
     assert seen == ["boom"]
+
+
+# -- macro-event fast-path equivalence -------------------------------------------------
+# The coalescing fast path (repro.sim.fastpath) must be invisible to every
+# observable: loss streams bit for bit, simulated clock, recovery verdicts,
+# and the events_processed counter (kept comparable via credit_events).
+
+import numpy as np
+
+from repro.sim import fastpath
+
+
+def _train(engine, layout_kwargs, iterations, **spec_kwargs):
+    from repro.hardware.specs import V100_NODE
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob, WorkloadSpec
+
+    spec = WorkloadSpec(name="EQ", model="GPT2-S", node_spec=V100_NODE,
+                        num_nodes=1, layout=ParallelLayout(**layout_kwargs),
+                        engine=engine, framework="equivalence",
+                        minibatch_time=0.05, **spec_kwargs)
+    job = TrainingJob(spec)
+    losses = job.run_training(iterations)
+    return losses, job.env
+
+
+@pytest.mark.parametrize("engine,layout,iterations", [
+    ("ddp", {"dp": 2}, 3),
+    ("3d", {"dp": 2, "pp": 2, "tp": 2}, 2),
+    ("fsdp", {"dp": 8}, 2),
+])
+def test_fast_path_losses_clock_and_event_counts_identical(
+        engine, layout, iterations):
+    with fastpath.fast_path(True):
+        fast_losses, fast_env = _train(engine, layout, iterations)
+    with fastpath.fast_path(False):
+        slow_losses, slow_env = _train(engine, layout, iterations)
+    fast_bytes = [np.asarray(rank, dtype=np.float64).tobytes()
+                  for rank in fast_losses]
+    slow_bytes = [np.asarray(rank, dtype=np.float64).tobytes()
+                  for rank in slow_losses]
+    assert fast_bytes == slow_bytes
+    assert fast_env.now == slow_env.now
+    assert fast_env.events_processed == slow_env.events_processed
+
+
+def _mid_chain_failure_run(fast):
+    from repro.cuda import CudaContext
+    from repro.hardware import Cluster, ClusterSpec, GpuHealth
+
+    with fastpath.fast_path(fast):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(num_nodes=1))
+        node = cluster.nodes[0]
+        ctx = CudaContext(env, node.gpus[0], node)
+        stream = ctx.create_stream()
+        executed = []
+        for i in range(6):
+            ctx.launch_kernel(stream, f"k{i}", duration=0.1,
+                              thunk=lambda i=i: executed.append(i))
+
+        def failer():
+            yield env.timeout(0.35)
+            node.gpus[0].fail(GpuHealth.DEAD)
+
+        env.process(failer())
+        env.run(until=50)
+        return executed, env.now, env.events_processed
+
+
+def test_failure_mid_macro_chain_settles_exactly_like_eager():
+    """A GPU death inside a coalesced chain's window must execute exactly
+    the thunks of kernels that finished before the failure - no more, no
+    less - just as per-kernel dispatch would."""
+    fast_executed, fast_now, fast_events = _mid_chain_failure_run(True)
+    slow_executed, slow_now, slow_events = _mid_chain_failure_run(False)
+    # Kernels end at 0.1/0.2/0.3/...; the GPU dies at 0.35, mid-k3.
+    assert slow_executed == [0, 1, 2]
+    assert fast_executed == slow_executed
+    assert fast_now == slow_now
+    assert fast_events == slow_events
+
+
+def test_oracle_grid_exact_for_all_strategies_fast_on_and_off():
+    """ISSUE acceptance: the recovery oracle's bitwise-exactness invariant
+    holds for every strategy with the fast path on AND off, and the golden
+    (failure-free) loss streams agree across the two modes bit for bit."""
+    from repro.oracle import (FailurePoint, FailureSchedule, RecoveryOracle,
+                              STRATEGIES)
+
+    schedule = FailureSchedule(points=(
+        FailurePoint(2, "GPU_HARD", 1, offset=0.4),))
+    goldens = {}
+    for fast in (True, False):
+        with fastpath.fast_path(fast):
+            oracle = RecoveryOracle(iterations=8)
+            for strategy in STRATEGIES:
+                verdict = oracle.check(schedule, strategy)
+                assert verdict.passed, (fast, verdict.describe())
+            goldens[fast] = {strategy: oracle.golden(strategy)
+                             for strategy in STRATEGIES}
+    assert goldens[True] == goldens[False]
