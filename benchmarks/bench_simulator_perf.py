@@ -55,11 +55,29 @@ def run_3d_training(iterations: int = 6) -> Environment:
     return job.env
 
 
+def run_fsdp_training(iterations: int = 4) -> Environment:
+    """Full stack: 16-rank hybrid FSDP across 2 nodes.
+
+    Hybrid sharding gives two 8-rank replica groups, so this is the bench
+    that exercises the copy-on-write replica-dedup arenas alongside the
+    all-gather/reduce-scatter op mix.
+    """
+    spec = WorkloadSpec(name="PERFFSDP", model="GPT2-S", node_spec=V100_NODE,
+                        num_nodes=2, layout=ParallelLayout(dp=16),
+                        engine="fsdp", framework="bench",
+                        minibatch_time=0.05)
+    job = TrainingJob(spec)
+    losses = job.run_training(iterations)
+    assert len(losses[0]) == iterations
+    return job.env
+
+
 #: name -> scenario body, shared with ``run_perf_baseline.py``.
 PERF_SCENARIOS = {
     "bench_event_loop_throughput": run_event_loop,
     "bench_ddp_training_throughput": run_ddp_training,
     "bench_3d_training_throughput": run_3d_training,
+    "bench_fsdp_training_throughput": run_fsdp_training,
 }
 
 
@@ -78,4 +96,10 @@ def bench_ddp_training_throughput(benchmark):
 def bench_3d_training_throughput(benchmark):
     """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
     env = benchmark(run_3d_training)
+    assert env.events_processed > 0
+
+
+def bench_fsdp_training_throughput(benchmark):
+    """Full stack: 16-rank hybrid FSDP (dedup arenas + shard collectives)."""
+    env = benchmark(run_fsdp_training)
     assert env.events_processed > 0

@@ -10,18 +10,23 @@ times and keeps the best wall-clock per bench.  Two modes:
   trajectory is tracked PR-over-PR instead of overwritten.
 * ``--check`` — measure, compare events/sec against the committed
   baseline without writing anything, and exit non-zero when any bench
-  regresses by more than ``--threshold`` (default 20%).  CI's perf-smoke
-  job runs this with ``--quick`` (fewer rounds).
+  regresses past its own threshold (``BENCH_THRESHOLDS``; ``--threshold``
+  overrides all of them).  CI's perf-smoke job runs this with ``--quick``
+  (fewer rounds).
+* ``--profile`` — additionally run each bench once under ``cProfile`` and
+  print the top 25 functions by cumulative time (hotspot triage).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_perf_baseline.py [output.json]
     PYTHONPATH=src python benchmarks/run_perf_baseline.py --quick --check
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py --profile
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -34,21 +39,45 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 import repro
 from benchmarks.bench_simulator_perf import PERF_SCENARIOS
 
-ROUNDS = 5
+# Shared-container timing is long-tailed (median ~1.3x the fast window),
+# so the tracked best-of needs enough rounds to catch a quiet window.
+ROUNDS = 15
 QUICK_ROUNDS = 2
 #: History entries retained (one per refresh; oldest dropped first).
 HISTORY_LIMIT = 50
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Allowed fractional events/sec regression per bench in ``--check`` mode.
+#: The raw event-loop bench is tight and stable; the full-stack training
+#: benches carry real numpy work whose wall clock is noisier run-to-run
+#: (allocator state, CPU frequency scaling), so they get more headroom.
+BENCH_THRESHOLDS = {
+    "bench_event_loop_throughput": 0.20,
+    "bench_ddp_training_throughput": 0.30,
+    "bench_3d_training_throughput": 0.30,
+    "bench_fsdp_training_throughput": 0.30,
+}
+DEFAULT_THRESHOLD = 0.25
 
 
 def measure(name: str, scenario, rounds: int) -> dict:
     scenario()  # warm-up round (imports, caches, allocator)
     best_wall = float("inf")
     events = 0
+    gc_was_enabled = gc.isenabled()
     for _ in range(rounds):
-        start = time.perf_counter()
-        env = scenario()
-        wall = time.perf_counter() - start
+        # Collect between rounds and disable during the timed region
+        # (timeit does the same): GC pauses measure the allocator's debt,
+        # not the simulator, and they dominate round-to-round variance.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            env = scenario()
+            wall = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if wall < best_wall:
             best_wall = wall
             events = env.events_processed
@@ -57,6 +86,21 @@ def measure(name: str, scenario, rounds: int) -> dict:
         "best_wall_seconds": round(best_wall, 6),
         "events_per_sec": round(events / best_wall),
     }
+
+
+def profile_benches(top: int = 25) -> None:
+    """Run each bench once under cProfile; print top functions by cumtime."""
+    import cProfile
+    import pstats
+
+    for name, scenario in PERF_SCENARIOS.items():
+        scenario()  # warm-up, same as measure()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        scenario()
+        profiler.disable()
+        print(f"\n=== {name} (top {top} by cumulative time) ===")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
 
 
 def run_benches(rounds: int) -> dict:
@@ -77,8 +121,14 @@ def load_existing(output: Path) -> dict:
         return {}
 
 
-def check_regressions(benches: dict, existing: dict, threshold: float) -> int:
-    """Compare events/sec to the committed baseline; returns the exit code."""
+def check_regressions(benches: dict, existing: dict,
+                      threshold: float | None = None) -> int:
+    """Compare events/sec to the committed baseline; returns the exit code.
+
+    Each bench is held to its own ``BENCH_THRESHOLDS`` entry (falling back
+    to ``DEFAULT_THRESHOLD``); an explicit *threshold* overrides all of
+    them uniformly.
+    """
     committed = existing.get("benches", {})
     if not committed:
         print("no committed baseline to check against")
@@ -89,15 +139,17 @@ def check_regressions(benches: dict, existing: dict, threshold: float) -> int:
         if base is None:
             print(f"{name}: no committed baseline entry, skipping")
             continue
+        allowed = (threshold if threshold is not None
+                   else BENCH_THRESHOLDS.get(name, DEFAULT_THRESHOLD))
         baseline_rate = base["events_per_sec"]
         rate = result["events_per_sec"]
         delta = (rate - baseline_rate) / baseline_rate
         status = "ok"
-        if delta < -threshold:
-            status = f"REGRESSION (>{threshold:.0%} below baseline)"
+        if delta < -allowed:
+            status = f"REGRESSION (>{allowed:.0%} below baseline)"
             failures += 1
         print(f"{name:<34} {rate:>10,} ev/s vs {baseline_rate:>10,} "
-              f"({delta:+.1%})  {status}")
+              f"({delta:+.1%}, allowed -{allowed:.0%})  {status}")
     return 1 if failures else 0
 
 
@@ -109,14 +161,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed baseline instead "
                              "of rewriting it; non-zero exit on regression")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed fractional events/sec regression "
-                             "in --check mode (default 0.20)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="override every per-bench regression threshold "
+                             "in --check mode (default: BENCH_THRESHOLDS)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run each bench once under cProfile and "
+                             "print the top 25 functions by cumulative time")
     args = parser.parse_args(argv)
 
     rounds = QUICK_ROUNDS if args.quick else ROUNDS
     benches = run_benches(rounds)
     existing = load_existing(args.output)
+
+    if args.profile:
+        profile_benches()
 
     if args.check:
         return check_regressions(benches, existing, args.threshold)

@@ -123,10 +123,26 @@ def _execute_campaign_scenario(spec: ScenarioSpec) -> dict:
     FailureInjector(env, runner.manager.cluster).arm(schedule)
     report = runner.execute()
     wall = time.perf_counter() - start
+    return _campaign_result(
+        spec, report, ideal_time=ideal_time,
+        reference_digest=_losses_digest(reference_losses),
+        interval_iterations=interval_iterations,
+        events=reference_events + env.events_processed, wall=wall)
 
+
+def _campaign_result(spec: ScenarioSpec, report, *, ideal_time: float,
+                     reference_digest: str,
+                     interval_iterations: Optional[int],
+                     events: int, wall: float) -> dict:
+    """Assemble one campaign scenario's result dict.
+
+    Shared by from-scratch execution above and prefix-fork children
+    (:mod:`repro.campaign.prefix`), so the ``metrics`` section — the only
+    part aggregation reads — is byte-identical between the two schedulers.
+    ``perf`` is wall-clock telemetry and legitimately differs.
+    """
     total = report.total_time
     wasted = total - ideal_time
-    events = reference_events + env.events_processed
     return {
         "scenario": spec.config(),
         "scenario_id": spec.scenario_id,
@@ -140,7 +156,7 @@ def _execute_campaign_scenario(spec: ScenarioSpec) -> dict:
             "restarts": report.restarts,
             "failures": report.failures_observed,
             "losses_digest": _losses_digest(report.final_losses),
-            "reference_digest": _losses_digest(reference_losses),
+            "reference_digest": reference_digest,
             "interval_iterations": interval_iterations,
         },
         "perf": {
@@ -265,6 +281,40 @@ def _execute_scenario_slot(args) -> tuple[int, Optional[dict]]:
     return position, result
 
 
+def _execute_unit_slot(args) -> list[tuple[int, Optional[dict]]]:
+    """Pool entry point for one dispatch unit (scenario or prefix group).
+
+    Returns ``(position, None)`` per scenario whose result landed in its
+    shm slot, ``(position, result)`` for those that fell back to the
+    pickle channel (no segment, attach failure, or slot overflow).
+    """
+    items, is_group, shm_name, slots, slot_bytes, max_live = args
+    if is_group:
+        from repro.campaign.prefix import execute_prefix_group
+
+        results = execute_prefix_group([spec for _pos, spec in items],
+                                       max_live=max_live)
+    else:
+        results = [execute_scenario(spec) for _pos, spec in items]
+    store = None
+    if shm_name is not None and HAVE_SHM:
+        try:
+            store = ShmResultStore.attach(shm_name, slots, slot_bytes)
+        except Exception:
+            store = None
+    out: list[tuple[int, Optional[dict]]] = []
+    try:
+        for (position, _spec), result in zip(items, results):
+            if store is not None and store.write(position, result):
+                out.append((position, None))
+            else:
+                out.append((position, result))
+    finally:
+        if store is not None:
+            store.close()
+    return out
+
+
 @dataclass
 class ScenarioOutcome:
     """One scenario's result plus where it came from."""
@@ -324,7 +374,8 @@ class CampaignRunner:
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  workers: Optional[int] = None, use_shm: bool = True,
-                 slot_bytes: int = DEFAULT_SLOT_BYTES):
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 prefix_fork: bool = False, fork_max_live: int = 4):
         import os
 
         self.cache = cache
@@ -332,6 +383,13 @@ class CampaignRunner:
                            else (os.cpu_count() or 1))
         self.use_shm = use_shm and HAVE_SHM
         self.slot_bytes = slot_bytes
+        #: Group campaign scenarios by failure-free prefix and fork each
+        #: scenario's divergent tail from a shared copy-on-write snapshot
+        #: (:mod:`repro.campaign.prefix`).  Metrics are byte-identical to
+        #: from-scratch execution; wall clock is substantially lower for
+        #: seed/rate sweeps.  Non-campaign kinds always run from scratch.
+        self.prefix_fork = prefix_fork
+        self.fork_max_live = fork_max_live
 
     def run(self, campaign: CampaignSpec,
             on_outcome: Optional[Callable[[int, "ScenarioOutcome"], None]]
@@ -402,16 +460,52 @@ class CampaignRunner:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _dispatch_units(self, specs: list[ScenarioSpec]
+                        ) -> list[tuple[list[tuple[int, ScenarioSpec]], bool]]:
+        """Partition scenarios into dispatch units: ``(items, is_group)``.
+
+        With :attr:`prefix_fork`, campaign-kind scenarios sharing a
+        failure-free prefix become one multi-scenario unit; everything
+        else (and singleton groups) stays a from-scratch unit.
+        """
+        units: list[tuple[list[tuple[int, ScenarioSpec]], bool]] = []
+        if self.prefix_fork:
+            from repro.campaign.prefix import group_by_prefix
+            from repro.campaign.spec import KIND_CAMPAIGN
+
+            groupable = [(position, spec) for position, spec in enumerate(specs)
+                         if spec.kind == KIND_CAMPAIGN]
+            for group in group_by_prefix(groupable):
+                units.append((group, len(group) > 1))
+            for position, spec in enumerate(specs):
+                if spec.kind != KIND_CAMPAIGN:
+                    units.append(([(position, spec)], False))
+        else:
+            units = [([(position, spec)], False)
+                     for position, spec in enumerate(specs)]
+        return units
+
     def _execute(self, pending: list[tuple[int, ScenarioSpec]],
                  publish: Callable[[int, dict], None]) -> None:
         """Execute scenarios, calling ``publish(position, result)`` as each
         finishes (positions index into *pending*)."""
         specs = [spec for _index, spec in pending]
-        if self.workers == 1 or len(specs) == 1:
-            for position, spec in enumerate(specs):
-                publish(position, execute_scenario(spec))
+        units = self._dispatch_units(specs)
+        if self.workers == 1 or len(units) == 1:
+            for items, is_group in units:
+                if is_group:
+                    from repro.campaign.prefix import execute_prefix_group
+
+                    results = execute_prefix_group(
+                        [spec for _pos, spec in items],
+                        max_live=self.fork_max_live)
+                    for (position, _spec), result in zip(items, results):
+                        publish(position, result)
+                else:
+                    for position, spec in items:
+                        publish(position, execute_scenario(spec))
             return
-        max_workers = min(self.workers, len(specs))
+        max_workers = min(self.workers, len(units))
         store: Optional[ShmResultStore] = None
         if self.use_shm:
             try:
@@ -423,21 +517,23 @@ class CampaignRunner:
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = [
-                    pool.submit(_execute_scenario_slot,
-                                (spec, shm_name, position, len(specs),
-                                 slot_bytes))
-                    for position, spec in enumerate(specs)]
+                    pool.submit(_execute_unit_slot,
+                                (items, is_group, shm_name, len(specs),
+                                 slot_bytes, self.fork_max_live))
+                    for items, is_group in units]
                 for future in as_completed(futures):
-                    position, inline = future.result()
-                    if inline is not None:
-                        result = inline
-                    else:
-                        result = store.read(position)
-                        if result is None:
-                            raise RuntimeError(
-                                f"scenario {position} reported success but "
-                                f"its shm slot is empty")
-                    publish(position, result)
+                    for position, inline in future.result():
+                        if inline is not None:
+                            result = inline
+                        else:
+                            result = store.read(position)
+                            if result is None:
+                                # Slot lost (e.g. segment torn down under
+                                # memory pressure).  Results are pure
+                                # functions of the spec: recompute inline
+                                # rather than failing the whole campaign.
+                                result = execute_scenario(specs[position])
+                        publish(position, result)
         finally:
             if store is not None:
                 store.close()

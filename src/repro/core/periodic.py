@@ -207,9 +207,13 @@ class PeriodicRunner:
             on_generation_start=self._on_generation_start)
         return report
 
+    def start(self):
+        """Runner process handle for prefix-fork scheduling (see
+        :meth:`repro.core.user_level.UserLevelJitRunner.start`)."""
+        return self.env.process(self.run(), name="periodic-runner")
+
     def execute(self) -> RunReport:
-        return self.env.run(until=self.env.process(self.run(),
-                                                   name="periodic-runner"))
+        return self.env.run(until=self.start())
 
     @property
     def total_checkpoint_stall(self) -> float:

@@ -321,7 +321,16 @@ class UserLevelJitRunner:
             on_generation_start=self._on_generation_start)
         return report
 
+    def start(self):
+        """Create the runner process without driving the event loop.
+
+        Prefix-fork campaign scheduling uses this to advance the shared
+        failure-free prefix with ``env.run_until_before`` before forking;
+        the returned :class:`~repro.sim.Process` resolves to the
+        :class:`RunReport` once ``env.run(until=proc)`` completes it.
+        """
+        return self.env.process(self.run(), name="jit-runner")
+
     def execute(self) -> RunReport:
         """Blocking convenience wrapper: run the whole job now."""
-        return self.env.run(until=self.env.process(self.run(),
-                                                   name="jit-runner"))
+        return self.env.run(until=self.start())

@@ -27,10 +27,13 @@ class EventState(enum.Enum):
 class CudaEvent:
     """One CUDA event; re-recordable like the real API."""
 
+    __slots__ = ("env", "event_id", "_name", "state", "destroyed",
+                 "_completion", "trigger_time", "recorded_on")
+
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.event_id = next(_event_ids)
-        self.name = name or f"cudaEvent{self.event_id}"
+        self._name = name
         self.state = EventState.CREATED
         self.destroyed = False
         #: Sim event that fires when the recorded occurrence triggers.
@@ -40,12 +43,18 @@ class CudaEvent:
         #: Stream the current recording sits on (for watchdog bookkeeping).
         self.recorded_on = None
 
+    @property
+    def name(self) -> str:
+        # Lazy, mirroring the kernel's lazy event names: record/trigger is
+        # the hot path and names are only read by tracing and ``repr``.
+        return self._name or f"cudaEvent{self.event_id}"
+
     def mark_recorded(self, stream) -> Event:
         """Called by ``cudaEventRecord``: arm the event on *stream*."""
         self.state = EventState.RECORDED
         self.recorded_on = stream
         self.trigger_time = None
-        self._completion = self.env.event(name=f"trigger:{self.name}")
+        self._completion = self.env.event()
         return self._completion
 
     def trigger(self) -> None:

@@ -42,6 +42,9 @@ class BufferKind(enum.Enum):
 class DeviceBuffer:
     """A GPU memory allocation with real numpy contents."""
 
+    __slots__ = ("buffer_id", "gpu", "array", "kind", "logical_nbytes",
+                 "label", "freed", "allocation_tag")
+
     def __init__(self, gpu: Gpu, array: np.ndarray, kind: BufferKind,
                  logical_nbytes: Optional[int] = None, label: str = ""):
         self.buffer_id = next(_buffer_ids)
@@ -77,6 +80,8 @@ class DeviceBuffer:
 
 class HostBuffer:
     """Host (CPU RAM) staging buffer for checkpoint copies."""
+
+    __slots__ = ("buffer_id", "array", "logical_nbytes", "label")
 
     def __init__(self, array: np.ndarray, logical_nbytes: Optional[int] = None,
                  label: str = ""):

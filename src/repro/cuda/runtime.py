@@ -55,14 +55,18 @@ class CudaContext:
     # -- health guard -------------------------------------------------------------
 
     def _guard(self) -> None:
+        # Hot path: one call per CUDA API entry.  Reads the health enum
+        # once and exits on the two usable states before any error logic.
         if self._sticky_error is not None:
             raise CudaApiError(self._sticky_error, "context poisoned")
-        if self.gpu.health is GpuHealth.DEAD:
+        health = self.gpu._health
+        if health is GpuHealth.HEALTHY or health is GpuHealth.DRIVER_CORRUPT:
+            return
+        if health is GpuHealth.DEAD:
             self._sticky_error = CudaError.DEVICE_LOST
             raise CudaApiError(CudaError.DEVICE_LOST, self.gpu.gpu_id)
-        if self.gpu.health is GpuHealth.STICKY_ERROR:
-            self._sticky_error = CudaError.STICKY
-            raise CudaApiError(CudaError.STICKY, self.gpu.gpu_id)
+        self._sticky_error = CudaError.STICKY
+        raise CudaApiError(CudaError.STICKY, self.gpu.gpu_id)
 
     @property
     def poisoned(self) -> bool:
@@ -77,8 +81,11 @@ class CudaContext:
         return stream
 
     def create_event(self, name_hint: str = "") -> CudaEvent:
-        event = CudaEvent(self.env,
-                          name=f"ctx{self.context_id}:{name_hint or 'ev'}{len(self.events)}")
+        # Compose the ctx-qualified name only when someone will read it;
+        # the hint alone (or the event's lazy default) serves repr/debug.
+        name = (f"ctx{self.context_id}:{name_hint or 'ev'}{len(self.events)}"
+                if self.tracer.enabled else name_hint)
+        event = CudaEvent(self.env, name=name)
         self.events.append(event)
         return event
 
@@ -133,7 +140,12 @@ class CudaContext:
     def malloc(self, array: np.ndarray, kind: BufferKind,
                logical_nbytes: Optional[int] = None, label: str = "") -> DeviceBuffer:
         """``cudaMalloc`` + eager content initialisation."""
-        self._guard()
+        # Guard fast path inlined: malloc is the most frequent API entry.
+        health = self.gpu._health
+        if (self._sticky_error is not None
+                or (health is not GpuHealth.HEALTHY
+                    and health is not GpuHealth.DRIVER_CORRUPT)):
+            self._guard()
         buf = DeviceBuffer(self.gpu, array, kind,
                            logical_nbytes=logical_nbytes, label=label)
         self.gpu.allocate(buf.logical_nbytes)
@@ -150,7 +162,11 @@ class CudaContext:
     def launch_kernel(self, stream: CudaStream, name: str, duration: float,
                       thunk=None) -> KernelOp:
         """Asynchronous kernel launch."""
-        self._guard()
+        health = self.gpu._health
+        if (self._sticky_error is not None
+                or (health is not GpuHealth.HEALTHY
+                    and health is not GpuHealth.DRIVER_CORRUPT)):
+            self._guard()
         op = KernelOp(name, duration, thunk)
         stream.enqueue(op)
         return op

@@ -35,9 +35,10 @@ from typing import Any, Callable, Optional
 
 from repro.cuda.errors import CudaApiError, CudaError
 from repro.cuda.event import CudaEvent
-from repro.hardware.gpu import Gpu
+from repro.hardware.gpu import Gpu, GpuHealth
 from repro.sim import Environment, Event, Process, Resource, Tracer
 from repro.sim import fastpath
+from repro.sim.core import _PENDING as _EVENT_PENDING
 
 _stream_ids = itertools.count()
 _op_ids = itertools.count()
@@ -59,7 +60,14 @@ class StreamOp:
     op would be pure overhead.  An op whose ``done`` was never observed
     credits one logical event on completion to keep ``events_processed``
     comparable with the historical eager behaviour.
+
+    The hierarchy is ``__slots__``-only: thousands of ops churn per
+    simulated iteration, and skipping the per-instance ``__dict__`` is a
+    measurable share of enqueue cost.
     """
+
+    __slots__ = ("op_id", "name", "_env", "_done", "started_at",
+                 "finished_at")
 
     def __init__(self, name: str):
         self.op_id = next(_op_ids)
@@ -88,6 +96,8 @@ class StreamOp:
 class KernelOp(StreamOp):
     """A compute kernel: fixed duration plus an optional numpy side effect."""
 
+    __slots__ = ("duration", "thunk")
+
     def __init__(self, name: str, duration: float,
                  thunk: Optional[Callable[[], None]] = None):
         super().__init__(name)
@@ -99,6 +109,8 @@ class KernelOp(StreamOp):
 
 class MemcpyOp(StreamOp):
     """Host<->device or device->device copy, timed over the PCIe resource."""
+
+    __slots__ = ("nbytes", "bandwidth", "pcie", "thunk")
 
     def __init__(self, name: str, nbytes: int, bandwidth: float,
                  pcie: Optional[Resource],
@@ -117,6 +129,8 @@ class MemcpyOp(StreamOp):
 class WaitEventOp(StreamOp):
     """``cudaStreamWaitEvent``: stall the stream until the event triggers."""
 
+    __slots__ = ("event",)
+
     def __init__(self, event: CudaEvent):
         super().__init__(f"wait:{event.name}")
         self.event = event
@@ -124,6 +138,8 @@ class WaitEventOp(StreamOp):
 
 class RecordEventOp(StreamOp):
     """``cudaEventRecord``: trigger the event when the stream reaches it."""
+
+    __slots__ = ("event", "completion")
 
     def __init__(self, event: CudaEvent, completion: Event):
         super().__init__(f"record:{event.name}")
@@ -137,6 +153,8 @@ class CollectiveKernelOp(StreamOp):
     The cross-rank synchronisation lives in the rendezvous object supplied
     by `repro.nccl`; this op just arrives and waits.
     """
+
+    __slots__ = ("rendezvous", "rank", "thunk")
 
     def __init__(self, name: str, rendezvous, rank: int,
                  thunk: Optional[Callable[[], None]] = None):
@@ -178,12 +196,13 @@ class CudaStream:
     def enqueue(self, op: StreamOp) -> StreamOp:
         if self.destroyed:
             raise CudaApiError(CudaError.INVALID_HANDLE, f"{self.name} destroyed")
-        op.bind(self.env)
-        if isinstance(op, CollectiveKernelOp):
+        op._env = self.env  # inlined op.bind()
+        if not self.saw_collective and isinstance(op, CollectiveKernelOp):
             self.saw_collective = True
         self._queue.append(op)
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        wakeup = self._wakeup
+        if wakeup is not None and wakeup._value is _EVENT_PENDING:
+            wakeup.succeed()
         return op
 
     @property
@@ -237,7 +256,12 @@ class CudaStream:
         yield self.env.event(name=f"park:{self.name}")
 
     def _gpu_ok(self) -> bool:
-        return self.gpu.is_usable and self.gpu.epoch == self._creation_epoch
+        # Checked before/after every op; reads the enum directly instead
+        # of going through two property descriptors.
+        gpu = self.gpu
+        health = gpu._health
+        return ((health is GpuHealth.HEALTHY or health is GpuHealth.DRIVER_CORRUPT)
+                and gpu.epoch == self._creation_epoch)
 
     # -- macro chains ----------------------------------------------------------
 
@@ -259,7 +283,10 @@ class CudaStream:
         """
         chain: list[StreamOp] = []
         for op in self._queue:
-            if not self._chainable(op):
+            # Inlined _chainable: this loop walks the whole queue head on
+            # every executor wakeup.
+            kind = type(op)
+            if kind is not KernelOp and (kind is not MemcpyOp or op.pcie is not None):
                 break
             chain.append(op)
             if op._done is not None:
@@ -295,6 +322,9 @@ class CudaStream:
         env = self.env
         elided = 0
         previous_end = start
+        trace = self.tracer.enabled
+        completed = self.completed_ops
+        queue = self._queue
         for index in range(count):
             op = chain[index]
             op.started_at = previous_end
@@ -302,15 +332,16 @@ class CudaStream:
             previous_end = ends[index]
             if op.thunk is not None:
                 op.thunk()
-            self.completed_ops.append(op.name)
-            self._queue.popleft()
+            completed.append(op.name)
+            queue.popleft()
             done = op._done
             if done is None:
                 elided += 1
             elif not done.triggered:
                 done.succeed(op)
-            self.tracer.record(op.finished_at, self.name, "op_done", op=op.name,
-                               started=op.started_at)
+            if trace:
+                self.tracer.record(op.finished_at, self.name, "op_done",
+                                   op=op.name, started=op.started_at)
         if count < len(chain):
             # The next op was in flight when the GPU failed; it started but
             # never finishes, as in the one-event-per-op path.
@@ -366,16 +397,18 @@ class CudaStream:
 
     def _run(self):
         env = self.env
+        wakeup_name = f"wakeup:{self.name}"
         while True:
             if not self._queue:
-                self._wakeup = env.event(name=f"wakeup:{self.name}")
+                self._wakeup = env.event(name=wakeup_name)
                 yield self._wakeup
                 self._wakeup = None
                 continue
             op = self._queue[0]
+            kind = type(op)
 
-            if (self._chainable(op) and fastpath.enabled()
-                    and not self.tracer.enabled):
+            if ((kind is KernelOp or (kind is MemcpyOp and op.pcie is None))
+                    and fastpath.enabled() and not self.tracer.enabled):
                 if not self._gpu_ok():
                     yield from self._park()
                 chain = self._collect_chain()
@@ -385,15 +418,17 @@ class CudaStream:
 
             op.started_at = env.now
 
-            if isinstance(op, WaitEventOp):
+            # Identity dispatch: the op hierarchy is closed (no subclasses),
+            # so ``kind is`` replaces the isinstance ladder.
+            if kind is WaitEventOp:
                 completion = op.event.completion
                 if not completion.triggered:
                     yield completion
-            elif isinstance(op, RecordEventOp):
+            elif kind is RecordEventOp:
                 op.event.trigger()
                 if not op.completion.triggered:
                     op.completion.succeed(op.event)
-            elif isinstance(op, CollectiveKernelOp):
+            elif kind is CollectiveKernelOp:
                 if not self._gpu_ok():
                     yield from self._park()
                 arrival = op.rendezvous.arrive(op.rank)
@@ -416,7 +451,7 @@ class CudaStream:
             else:  # KernelOp / MemcpyOp
                 if not self._gpu_ok():
                     yield from self._park()
-                pcie = getattr(op, "pcie", None)
+                pcie = op.pcie if kind is MemcpyOp else None
                 if pcie is not None:
                     yield pcie.acquire()
                 try:
@@ -440,8 +475,9 @@ class CudaStream:
                 env.credit_events(1)
             elif not done.triggered:
                 done.succeed(op)
-            self.tracer.record(env.now, self.name, "op_done", op=op.name,
-                               started=op.started_at)
+            if self.tracer.enabled:
+                self.tracer.record(env.now, self.name, "op_done", op=op.name,
+                                   started=op.started_at)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CudaStream {self.name} on {self.gpu.gpu_id} pending={self.pending}>"

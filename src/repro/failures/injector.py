@@ -73,7 +73,11 @@ class FailureInjector:
 
     def _fire(self, event: FailureEvent):
         if event.time > self.env.now:
-            yield self.env.timeout(event.time - self.env.now)
+            # Absolute scheduling: when armed at t=0 this lands on the same
+            # float as the historical ``timeout(event.time - now)``, and it
+            # keeps late arming exact — a prefix-fork child arms schedules
+            # mid-run and must hit the same instant a from-scratch run does.
+            yield self.env.timeout_at(event.time)
         self.apply(event)
         if (event.failure_type is FailureType.NETWORK_TRANSIENT
                 and event.duration):

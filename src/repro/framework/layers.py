@@ -26,14 +26,17 @@ _SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
 
 def gelu(x: np.ndarray) -> np.ndarray:
     """tanh-approximation GELU (the variant GPT-2 uses)."""
-    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+    # x*x*x instead of x**3: float64 pow takes the generic libm path
+    # (~20x slower than two multiplies) for these kernel-sized arrays.
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * (x * x * x))))
 
 
 def gelu_grad(x: np.ndarray) -> np.ndarray:
-    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    x_sq = x * x
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * (x_sq * x))
     tanh_inner = np.tanh(inner)
-    sech2 = 1.0 - tanh_inner**2
-    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    sech2 = 1.0 - tanh_inner * tanh_inner
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x_sq)
     return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
 
 

@@ -52,6 +52,10 @@ class Gpu:
         #: before the first transition after the chain started completed,
         #: later ones hang, exactly as if they had run one event each.
         self.epoch_times: list[float] = []
+        #: Called (no args) after every epoch bump.  Replica deduplication
+        #: registers the copy-on-write trigger here: any health transition
+        #: on a deduplicated rank's device materialises its private state.
+        self.on_epoch: list = []
 
     # -- health --------------------------------------------------------------
 
@@ -78,6 +82,8 @@ class Gpu:
         self._health = health
         self.epoch += 1
         self.epoch_times.append(self.env.now)
+        for callback in self.on_epoch:
+            callback()
         self.tracer.record(self.env.now, self.gpu_id, "gpu_fail", health=health.value)
 
     def reset_driver(self) -> None:
@@ -92,6 +98,8 @@ class Gpu:
         self._health = GpuHealth.HEALTHY
         self.epoch += 1
         self.epoch_times.append(self.env.now)
+        for callback in self.on_epoch:
+            callback()
         self._allocated_bytes = 0
         self.tracer.record(self.env.now, self.gpu_id, "gpu_reset")
 

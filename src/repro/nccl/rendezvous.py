@@ -37,7 +37,7 @@ class ReduceOp(enum.Enum):
     MAX = "max"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Registration:
     send: Optional[np.ndarray]
     recv: Optional[np.ndarray]
@@ -186,6 +186,17 @@ def _apply_collective(kind: str, reduce_op: ReduceOp,
     if kind in ("barrier", "init"):
         return
     if kind == "all_reduce":
+        # Replica-dedup identity fast path: when every rank registered the
+        # *same* ndarray (a shared gradient arena already holding the
+        # reduced value), applying the reduction would re-average K copies
+        # of one array — a float no-op only for power-of-two K.  Skipping
+        # it keeps the arena bitwise exact for any group size; simulated
+        # transfer timing was already paid by the caller.
+        first = regs[ranks[0]].send
+        if (first is not None
+                and all(regs[r].send is first and regs[r].recv is first
+                        for r in ranks)):
+            return
         stacked = np.stack([regs[r].send for r in ranks])
         if reduce_op is ReduceOp.SUM:
             reduced = stacked.sum(axis=0)

@@ -65,6 +65,25 @@ class BaseEngine:
         #: Human-readable shard id; equal across data-parallel replicas so
         #: replicas read each other's checkpoint files (Section 3.3).
         self.shard_id = "full"
+        #: Set by :func:`repro.framework.dedup.attach_job` when this rank
+        #: shares a canonical replica arena with its DP group.
+        self._dedup_arena = None
+        self._dedup_member = 0
+        #: Shared zero array backing group-math activation buffers (their
+        #: contents are dead weight; only allocation events matter).
+        self._act_scratch = None
+
+    def _rebind_param(self, name: str, array: np.ndarray) -> None:
+        """Point this engine's view of parameter *name* at *array*.
+
+        Used by replica deduplication to alias a follower onto the
+        canonical arena (attach) and back onto a private copy (diverge).
+        Subclasses that hold additional references — block/head attribute
+        objects, flat shard dicts — extend this.
+        """
+        self.param_buffers[name].array = array
+        if self.optimizer is not None and name in self.optimizer.params:
+            self.optimizer.params[name] = array
 
     # -- progress conditions -----------------------------------------------------------
 
@@ -181,12 +200,20 @@ class BaseEngine:
             # Losses are appended at the enqueue point, ahead of the
             # optimizer kernel; drop the ones past the resume point.
             history = history[:-behind] if behind < len(history) else []
+        params = None
+        if self._dedup_arena is not None:
+            # A deduplicated member whose own optimizer kernel has not yet
+            # witnessed the canonical step reports the pre-step arrays.
+            params = self._dedup_arena.member_params_snapshot(
+                self._dedup_member)
+        if params is None:
+            params = {name: buf.array.copy()
+                      for name, buf in self.param_buffers.items()}
         return {
             "iteration": applied,
             "shard_id": self.shard_id,
             "model": self.config.name,
-            "params": {name: buf.array.copy()
-                       for name, buf in self.param_buffers.items()},
+            "params": params,
             "optimizer": self.optimizer.state_dict(),
             "scheduler": self.scheduler.state_dict(),
             "loss_history": history,
@@ -194,6 +221,12 @@ class BaseEngine:
         }
 
     def load_state_dict(self, state: dict) -> None:
+        if (self._dedup_arena is not None
+                and self._dedup_arena.member_active(self._dedup_member)):
+            # Loading foreign state into one member of a shared arena is
+            # divergence by definition: materialise a private copy first
+            # so the writes below cannot corrupt the group.
+            self._dedup_arena.diverge(self._dedup_member)
         if state["shard_id"] != self.shard_id:
             raise ValueError(
                 f"checkpoint shard {state['shard_id']!r} does not match "

@@ -15,7 +15,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.cuda.memory import BufferKind
+from repro.cuda.memory import BufferKind, HostBuffer
 from repro.framework.costmodel import TrainingCostModel
 from repro.framework.data import SyntheticDataset
 from repro.framework.layers import MlpBlock, OutputHead
@@ -25,6 +25,7 @@ from repro.framework.optim import ParamDict
 from repro.nccl.communicator import NcclCommunicator
 from repro.nccl.rendezvous import ReduceOp
 from repro.parallel.base import BaseEngine
+from repro.parallel.buffers import allocate_group
 from repro.parallel.deviceapi import DeviceApi
 from repro.sim import fastpath
 
@@ -68,6 +69,14 @@ class DataParallelEngine(BaseEngine):
     def is_checkpoint_writer(self) -> bool:
         return self.dp_rank == 0
 
+    def _rebind_param(self, name: str, array: np.ndarray) -> None:
+        super()._rebind_param(name, array)
+        owner, _, attr = name.partition(".")
+        if owner == "head":
+            setattr(self.head, attr, array)
+        else:
+            setattr(self.blocks[int(owner[len("layer"):])], attr, array)
+
     # -- setup --------------------------------------------------------------------
 
     def setup(self) -> Generator:
@@ -105,13 +114,26 @@ class DataParallelEngine(BaseEngine):
         lr = self.scheduler.lr_at(iteration)
         self.scheduler.iteration = iteration + 1
 
-        x, labels = self.dataset.shard(iteration, self.dp_rank, self.dp_world)
+        # Replica-dedup fast path: when every rank of the group shares the
+        # canonical arena, model math is memoised once per group and each
+        # thunk here degenerates to a lookup.  The decision is made at
+        # enqueue time; a rank that diverges mid-flight never executes its
+        # already-enqueued thunks (the GPU epoch bump hangs them), so the
+        # group memo can never observe a stale member.
+        arena = self._dedup_arena
+        member = self._dedup_member
+        group_math = (arena is not None and arena.group_math
+                      and arena.member_active(member))
+
+        if group_math:
+            x, labels = arena.member_shard(iteration, member, self.dataset)
+        else:
+            x, labels = self.dataset.shard(iteration, self.dp_rank,
+                                           self.dp_world)
         step_state: dict = {}
         step_bufs = []
 
         # Input upload.
-        from repro.cuda.memory import HostBuffer
-
         input_bytes = max(1, self.cost.activation_bytes_per_layer())
         host_x = HostBuffer(x, logical_nbytes=input_bytes, label="host_input")
         x_buf = api.malloc(np.zeros_like(x), BufferKind.INPUT_DATA,
@@ -122,19 +144,33 @@ class DataParallelEngine(BaseEngine):
         # Forward passes.
         fwd_time = self.cost.layer_forward_time(gpu)
         for i, block in enumerate(self.blocks):
-            def fwd_thunk(i=i, block=block):
-                src = step_state.get(("act", i - 1))
-                if src is None:
-                    src = x_buf.array
-                out, cache = block.forward(src)
-                if self.dropout > 0.0:
-                    mask = self.rng.dropout_mask(out.shape, self.dropout)
-                    step_state[("mask", i)] = mask
-                    out = out * mask
-                step_state[("act", i)] = out
-                step_state[("cache", i)] = cache
+            if group_math:
+                def fwd_thunk(i=i, block=block):
+                    arena.group_forward(iteration, i, block)
+            else:
+                def fwd_thunk(i=i, block=block):
+                    src = step_state.get(("act", i - 1))
+                    if src is None:
+                        src = x_buf.array
+                    out, cache = block.forward(src)
+                    if self.dropout > 0.0:
+                        mask = self.rng.dropout_mask(out.shape, self.dropout)
+                        step_state[("mask", i)] = mask
+                        out = out * mask
+                    step_state[("act", i)] = out
+                    step_state[("cache", i)] = cache
 
-            act_buf = api.malloc(np.zeros_like(x), BufferKind.ACTIVATION,
+            if group_math:
+                # Activation buffer contents are never touched (the memo
+                # carries the real activations); one cached scratch array
+                # backs every layer's buffer, keeping only the allocation
+                # events and memory accounting.
+                scratch = self._act_scratch
+                if scratch is None or scratch.shape != x.shape:
+                    scratch = self._act_scratch = np.zeros_like(x)
+            else:
+                scratch = np.zeros_like(x)
+            act_buf = api.malloc(scratch, BufferKind.ACTIVATION,
                                  logical_nbytes=max(
                                      1, self.cost.activation_bytes_per_layer()),
                                  label=f"act{i}#{iteration}")
@@ -145,25 +181,35 @@ class DataParallelEngine(BaseEngine):
                               logical_nbytes=4, label=f"loss#{iteration}")
         step_bufs.append(loss_buf)
 
-        def head_fwd_thunk():
-            src = step_state[("act", len(self.blocks) - 1)]
-            loss, cache = OutputHead.forward(src, self.head, labels)
-            step_state["head_cache"] = cache
-            loss_buf.array[0] = loss
+        if group_math:
+            def head_fwd_thunk():
+                loss_buf.array[0] = arena.group_head_loss(
+                    iteration, member, self.head, len(self.blocks))
+        else:
+            def head_fwd_thunk():
+                src = step_state[("act", len(self.blocks) - 1)]
+                loss, cache = OutputHead.forward(src, self.head, labels)
+                step_state["head_cache"] = cache
+                loss_buf.array[0] = loss
 
         api.launch_kernel(self.compute_stream, "fwd_head",
                           self.cost.head_forward_time(gpu), head_fwd_thunk)
 
         # Gradient buffers, allocated per minibatch so reset/replay recreates
         # them (Section 4.2 frees everything that is not params/optimizer).
-        grad_arrays: ParamDict = {}
-        for i, block in enumerate(self.blocks):
-            for name, array in block.as_dict().items():
-                grad_arrays[f"layer{i}.{name}"] = np.zeros_like(array)
-        grad_arrays["head.w"] = np.zeros_like(self.head.w)
-        grad_arrays["head.b"] = np.zeros_like(self.head.b)
-        from repro.parallel.buffers import allocate_group
-
+        # Under group math every rank adopts the arena's shared gradient
+        # arrays — same buffer lifecycle and memory accounting, one
+        # allocation's worth of real memory, and the all-reduce becomes an
+        # object-identity no-op.
+        if group_math:
+            grad_arrays = arena.grad_arrays
+        else:
+            grad_arrays: ParamDict = {}
+            for i, block in enumerate(self.blocks):
+                for name, array in block.as_dict().items():
+                    grad_arrays[f"layer{i}.{name}"] = np.zeros_like(array)
+            grad_arrays["head.w"] = np.zeros_like(self.head.w)
+            grad_arrays["head.b"] = np.zeros_like(self.head.b)
         grad_buffers = allocate_group(api, grad_arrays,
                                       self.cost.gradient_bytes_local,
                                       BufferKind.GRADIENT,
@@ -195,11 +241,17 @@ class DataParallelEngine(BaseEngine):
             api.event_record(done, self.comm_stream)
             ar_done_events.append(done)
 
-        def head_bwd_thunk():
-            dx, grads = OutputHead.backward(step_state["head_cache"], self.head)
-            step_state[("dy", len(self.blocks) - 1)] = dx
-            grad_buffers["head.w"].array[...] = grads["w"]
-            grad_buffers["head.b"].array[...] = grads["b"]
+        if group_math:
+            def head_bwd_thunk():
+                arena.group_head_backward(iteration, self.head,
+                                          len(self.blocks))
+        else:
+            def head_bwd_thunk():
+                dx, grads = OutputHead.backward(step_state["head_cache"],
+                                                self.head)
+                step_state[("dy", len(self.blocks) - 1)] = dx
+                grad_buffers["head.w"].array[...] = grads["w"]
+                grad_buffers["head.b"].array[...] = grads["b"]
 
         api.launch_kernel(self.compute_stream, "bwd_head",
                           self.cost.head_backward_time(gpu), head_bwd_thunk)
@@ -207,15 +259,19 @@ class DataParallelEngine(BaseEngine):
 
         bwd_time = self.cost.layer_backward_time(gpu)
         for i in reversed(range(len(self.blocks))):
-            def bwd_thunk(i=i, block=self.blocks[i]):
-                dy = step_state[("dy", i)]
-                if self.dropout > 0.0:
-                    dy = dy * step_state[("mask", i)]
-                cache = step_state[("cache", i)]
-                dx, grads = block.backward_full(dy, cache)
-                step_state[("dy", i - 1)] = dx
-                for name, grad in grads.items():
-                    grad_buffers[f"layer{i}.{name}"].array[...] = grad
+            if group_math:
+                def bwd_thunk(i=i, block=self.blocks[i]):
+                    arena.group_block_backward(iteration, i, block)
+            else:
+                def bwd_thunk(i=i, block=self.blocks[i]):
+                    dy = step_state[("dy", i)]
+                    if self.dropout > 0.0:
+                        dy = dy * step_state[("mask", i)]
+                    cache = step_state[("cache", i)]
+                    dx, grads = block.backward_full(dy, cache)
+                    step_state[("dy", i - 1)] = dx
+                    for name, grad in grads.items():
+                        grad_buffers[f"layer{i}.{name}"].array[...] = grad
 
             api.launch_kernel(self.compute_stream, f"bwd{i}", bwd_time, bwd_thunk)
             sync_layer_grads([f"layer{i}.{name}"

@@ -87,6 +87,15 @@ class ThreeDEngine(BaseEngine):
     def is_checkpoint_writer(self) -> bool:
         return self.coords.dp == 0
 
+    def _rebind_param(self, name: str, array) -> None:
+        super()._rebind_param(name, array)
+        owner, _, attr = name.partition(".")
+        if owner == "head":
+            setattr(self.head, attr, array)
+        else:
+            index = int(owner[len("layer"):]) - self.layer_lo
+            setattr(self.blocks[index], attr, array)
+
     # -- setup -------------------------------------------------------------------
 
     def setup(self) -> Generator:

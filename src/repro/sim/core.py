@@ -442,11 +442,32 @@ class Environment:
         """
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.triggered:
-                if not self._queue:
-                    raise SimulationError(
-                        f"deadlock: queue empty but {stop_event!r} never triggered")
-                self.step()
+            # Same inlined dispatch body as the deadline loop below — this
+            # is the path every training/campaign driver runs.
+            queue = self._queue
+            pool = self._timeout_pool
+            processed = self._processed
+            try:
+                while stop_event._value is _PENDING:
+                    if not queue:
+                        raise SimulationError(
+                            f"deadlock: queue empty but {stop_event!r} never triggered")
+                    time, _priority, _seq, event = heappop(queue)
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    processed += 1
+                    if event._ok:
+                        if (type(event) is Timeout and _getrefcount(event) == 2
+                                and len(pool) < _TIMEOUT_POOL_LIMIT):
+                            event._value = None
+                            pool.append(event)
+                    elif not event._defused:
+                        raise event._value
+            finally:
+                self._processed = processed
             # Drain the trigger through its callbacks so value access is safe.
             while not stop_event.processed and self._queue:
                 next_time = self._queue[0][0]
@@ -483,6 +504,39 @@ class Environment:
         if until is not None:
             self._now = max(self._now, deadline)
         return None
+
+    def run_until_before(self, when: float) -> None:
+        """Dispatch every event scheduled strictly before *when*.
+
+        Unlike ``run(until=t)`` this never advances the clock to *when*:
+        ``now`` is left at the last dispatched event's timestamp, so work
+        scheduled later (e.g. a failure injected at exactly *when*) lands
+        on the same floats it would in an uninterrupted run.  This is the
+        parent-side primitive of prefix-fork campaign scheduling: simulate
+        the failure-free prefix shared by a scenario group, then fork a
+        child per scenario to arm its schedule and run the divergent tail.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        processed = self._processed
+        try:
+            while queue and queue[0][0] < when:
+                time, _priority, _seq, event = heappop(queue)
+                self._now = time
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                processed += 1
+                if event._ok:
+                    if (type(event) is Timeout and _getrefcount(event) == 2
+                            and len(pool) < _TIMEOUT_POOL_LIMIT):
+                        event._value = None
+                        pool.append(event)
+                elif not event._defused:
+                    raise event._value
+        finally:
+            self._processed = processed
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf when the queue is empty)."""

@@ -65,6 +65,11 @@ class TrainingJob:
             {} for _ in range(world_size)
         ]
         self.engines = self._build_engines()
+        #: Replica arenas sharing params/grads/moments across DP groups
+        #: (empty when dedup is off or no group has >= 2 members).
+        from repro.framework import dedup
+
+        self.dedup_arenas = dedup.attach_job(self)
 
     # -- placement -----------------------------------------------------------------
 
@@ -208,6 +213,31 @@ class TrainingJob:
                 seed=spec.seed, optimizer_kind=spec.optimizer,
                 world_comm=world_comm))
         return engines
+
+    # -- replica deduplication ------------------------------------------------------------
+
+    def dedup_groups(self) -> list[tuple[list[int], bool]]:
+        """(global ranks, group_math) per group of bitwise-identical replicas.
+
+        Mirrors the communicator topology above: pure DDP shares one group
+        over all ranks (with full math memoisation when deterministic);
+        3D shares each (pp, tp) cell's DP group; hybrid FSDP shares each
+        shard slot's cross-node replica group.  Fully-sharded FSDP has a
+        single replica of every parameter — nothing to deduplicate.
+        """
+        spec = self.spec
+        if spec.engine == "ddp":
+            return [(list(range(spec.world_size)), spec.dropout == 0.0)]
+        if spec.engine == "3d":
+            layout = spec.layout
+            return [(layout.dp_group(pp, tp), False)
+                    for pp in range(layout.pp) for tp in range(layout.tp)]
+        per_node = spec.node_spec.gpus_per_node
+        if not spec.fsdp_hybrid or spec.world_size <= per_node:
+            return []
+        n_groups = spec.world_size // per_node
+        return [([group * per_node + slot for group in range(n_groups)], False)
+                for slot in range(per_node)]
 
     # -- teardown ------------------------------------------------------------------------
 

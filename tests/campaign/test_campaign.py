@@ -318,3 +318,93 @@ def test_content_hash_covers_fastpath_toggle(monkeypatch):
     fast = spec.content_hash()
     monkeypatch.setattr(fastpath, "enabled", lambda: False)
     assert spec.content_hash() != fast
+
+
+# -- prefix-fork scheduling ------------------------------------------------------------
+# Scenarios of one grid share their failure-free prefix; prefix-fork
+# execution simulates that prefix once and forks a copy-on-write child per
+# scenario at its first-failure time.  The ``metrics`` sections (and
+# therefore every aggregate) must be byte-identical to from-scratch
+# execution — only ``perf`` (wall clock, per-process event counts) may
+# differ.
+
+
+def _strip_perf(result):
+    return {key: value for key, value in result.items() if key != "perf"}
+
+
+def test_prefix_fork_group_matches_from_scratch_byte_identically():
+    from repro.campaign.prefix import (execute_prefix_group, group_by_prefix,
+                                       prefix_key)
+    from repro.sim.snapshot import HAVE_FORK
+
+    if not HAVE_FORK:
+        pytest.skip("os.fork unavailable")
+
+    campaign = small_campaign("prefix-fork")
+    specs = [spec for spec in campaign.scenarios if spec.policy == "user_jit"]
+    assert len(specs) == 4
+    assert len({prefix_key(spec) for spec in specs}) == 1
+    groups = group_by_prefix(list(enumerate(specs)))
+    assert [position for position, _ in groups[0]] == [0, 1, 2, 3]
+
+    forked = execute_prefix_group(specs)
+    scratch = [execute_scenario(spec) for spec in specs]
+    assert [canonical_json(_strip_perf(r)) for r in forked] == \
+        [canonical_json(_strip_perf(r)) for r in scratch]
+    # At least one scenario's schedule actually fired, so divergent tails
+    # (not just the shared trajectory) are covered.
+    assert any(r["metrics"]["failures"] > 0 for r in forked)
+
+
+def test_prefix_key_separates_trajectory_shaping_config():
+    from repro.campaign.prefix import prefix_key
+    from repro.campaign.spec import KIND_ANALYTIC
+
+    base = ScenarioSpec(seed=0, policy="user_jit")
+    # Seeds and (for user_jit) failure rates shape only the tail.
+    assert prefix_key(base) == prefix_key(ScenarioSpec(seed=5,
+                                                       policy="user_jit"))
+    assert prefix_key(base) == prefix_key(
+        ScenarioSpec(seed=0, policy="user_jit", failure_rate=1.0 / 80.0))
+    # The periodic policy derives its checkpoint interval from the failure
+    # rate, which changes the failure-free trajectory itself.
+    per_a = ScenarioSpec(seed=0, policy="periodic", failure_rate=1.0 / 25.0)
+    per_b = ScenarioSpec(seed=0, policy="periodic", failure_rate=1.0 / 80.0)
+    assert prefix_key(per_a) != prefix_key(per_b)
+    assert prefix_key(base) != prefix_key(ScenarioSpec(seed=0,
+                                                       policy="periodic"))
+    with pytest.raises(ValueError):
+        prefix_key(ScenarioSpec(seed=0, kind=KIND_ANALYTIC,
+                                failure_rate=1.0 / 30.0))
+
+
+def test_prefix_fork_runner_aggregate_is_byte_identical(tmp_path):
+    from repro.sim.snapshot import HAVE_FORK
+
+    if not HAVE_FORK:
+        pytest.skip("os.fork unavailable")
+
+    campaign = small_campaign("prefix-runner")
+    plain = CampaignRunner(cache=None, workers=1).run(campaign)
+    forked = CampaignRunner(cache=None, workers=1,
+                            prefix_fork=True).run(campaign)
+    pooled = CampaignRunner(cache=None, workers=2,
+                            prefix_fork=True).run(campaign)
+    blobs = {canonical_json(run.aggregate())
+             for run in (plain, forked, pooled)}
+    assert len(blobs) == 1, "prefix-fork changed campaign results"
+    for run in (forked, pooled):
+        assert [o.spec.scenario_id for o in run.outcomes] == \
+            [s.scenario_id for s in campaign.scenarios]
+
+
+def test_shm_slot_overflow_falls_back_to_inline_recompute():
+    """A result too large for its shared-memory slot must degrade to the
+    parent recomputing the scenario inline — never a hard failure (the
+    pre-fix behaviour raised RuntimeError on the empty slot)."""
+    campaign = small_campaign("shm-overflow")
+    # 64-byte slots: every result overflows its slot.
+    tiny = CampaignRunner(cache=None, workers=2, slot_bytes=64).run(campaign)
+    plain = CampaignRunner(cache=None, workers=1).run(campaign)
+    assert canonical_json(tiny.aggregate()) == canonical_json(plain.aggregate())

@@ -402,3 +402,189 @@ def test_oracle_grid_exact_for_all_strategies_fast_on_and_off():
             goldens[fast] = {strategy: oracle.golden(strategy)
                              for strategy in STRATEGIES}
     assert goldens[True] == goldens[False]
+
+
+# -- replica-dedup bitwise equivalence -------------------------------------------------
+# Copy-on-write replica deduplication (repro.framework.dedup) executes the
+# data-parallel group's math once on a shared arena.  Like the macro-event
+# fast path above, it must be invisible to every observable: loss streams,
+# the simulated clock, the logical event count, and the final model state
+# must match a dedup-off run bit for bit.
+
+from repro.framework import dedup as dedup_mod
+
+
+def _dedup_train(on, engine, layout, iterations, num_nodes=1,
+                 fail_member=None, fail_at=None, horizon=None):
+    from repro.hardware import GpuHealth
+    from repro.hardware.specs import V100_NODE
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob, WorkloadSpec
+
+    with dedup_mod.dedup(on):
+        spec = WorkloadSpec(name="DEDUPEQ", model="GPT2-S",
+                            node_spec=V100_NODE, num_nodes=num_nodes,
+                            layout=ParallelLayout(**layout), engine=engine,
+                            framework="equivalence", minibatch_time=0.05)
+        job = TrainingJob(spec)
+        env = job.env
+
+        def worker(rank, eng):
+            yield from eng.setup()
+            yield from eng.train(iterations)
+
+        procs = [env.process(worker(i, eng), name=f"rank{i}")
+                 for i, eng in enumerate(job.engines)]
+        if fail_at is not None:
+            victim = job.engines[fail_member]
+
+            def failer():
+                yield env.timeout(fail_at)
+                victim.api.ctx.gpu.fail(GpuHealth.DEAD)
+
+            env.process(failer(), name="failer")
+            env.run(until=horizon)
+            arena = victim._dedup_arena
+            if arena is not None:
+                # The epoch bump must have fired the COW divergence.
+                assert not arena.member_active(victim._dedup_member)
+        else:
+            env.run(until=env.all_of(procs))
+        losses = [list(eng.loss_history) for eng in job.engines]
+        state = [eng.state_dict() for eng in job.engines]
+        return losses, env.now, env.events_processed, state
+
+
+def _assert_bitwise_equal(a, b):
+    assert a[0] == b[0], "loss streams differ"
+    assert a[1] == b[1], "simulated clocks differ"
+    assert a[2] == b[2], "logical event counts differ"
+    for sa, sb in zip(a[3], b[3]):
+        for key in sa["params"]:
+            assert np.array_equal(sa["params"][key], sb["params"][key]), key
+
+
+@pytest.mark.parametrize("engine,layout,num_nodes,iterations", [
+    ("ddp", {"dp": 4}, 1, 3),
+    ("3d", {"dp": 2, "pp": 2, "tp": 2}, 1, 2),
+    ("fsdp", {"dp": 16}, 2, 2),
+])
+def test_dedup_losses_clock_events_and_state_identical(
+        engine, layout, num_nodes, iterations):
+    on = _dedup_train(True, engine, layout, iterations, num_nodes)
+    off = _dedup_train(False, engine, layout, iterations, num_nodes)
+    _assert_bitwise_equal(on, off)
+
+
+@pytest.mark.parametrize("engine,layout,num_nodes,member", [
+    ("ddp", {"dp": 4}, 1, 2),
+    ("3d", {"dp": 2, "pp": 2, "tp": 2}, 1, 1),
+    ("fsdp", {"dp": 16}, 2, 9),
+])
+def test_dedup_mid_iteration_failure_stays_bitwise(
+        engine, layout, num_nodes, member):
+    """A GPU death mid-minibatch on a deduplicated rank: the victim's
+    stream hangs, the survivors stall at the collective, and every
+    observable — losses, clock, event count, per-rank state including the
+    victim's COW-diverged private copy — matches dedup-off bit for bit."""
+    # 0.07 lands inside minibatch 1 (steps are ~0.05 simulated seconds).
+    on = _dedup_train(True, engine, layout, 6, num_nodes,
+                      fail_member=member, fail_at=0.07, horizon=1.0)
+    off = _dedup_train(False, engine, layout, 6, num_nodes,
+                       fail_member=member, fail_at=0.07, horizon=1.0)
+    _assert_bitwise_equal(on, off)
+
+
+def test_dedup_diverge_then_readmit_round_trip():
+    """Divergence hands the member a private bitwise copy; a member whose
+    state still matches the canonical arena is readmitted, one whose copy
+    was perturbed is refused."""
+    from repro.hardware.specs import V100_NODE
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob, WorkloadSpec
+
+    with dedup_mod.dedup(True):
+        spec = WorkloadSpec(name="DEDUPRT", model="GPT2-S",
+                            node_spec=V100_NODE, num_nodes=1,
+                            layout=ParallelLayout(dp=4), engine="ddp",
+                            framework="equivalence", minibatch_time=0.05)
+        job = TrainingJob(spec)
+        job.run_training(3)
+        arena = job.dedup_arenas[0]
+        epoch0 = arena.dedup_epoch
+
+        # Quiescent diverge: private copy is bitwise the canonical state.
+        clean = job.engines[1]
+        arena.diverge(1)
+        assert not arena.member_active(1)
+        assert arena.dedup_epoch == epoch0 + 1
+        for name, array in arena.params.items():
+            buf = clean.param_buffers[name]
+            assert buf.array is not array
+            assert np.array_equal(buf.array, array)
+        # Unchanged state re-converges: readmitted, buffers re-share the
+        # canonical arrays, and a second readmit is an idempotent True.
+        assert arena.readmit(1)
+        assert arena.member_active(1)
+        assert arena.dedup_epoch == epoch0 + 2
+        for name, array in arena.params.items():
+            assert clean.param_buffers[name].array is array
+        assert arena.readmit(1)
+
+        # Perturbed state must be refused.
+        dirty = job.engines[2]
+        arena.diverge(2)
+        first = next(iter(dirty.param_buffers.values()))
+        first.array.flat[0] += 1.0
+        assert not arena.readmit(2)
+        assert not arena.member_active(2)
+
+
+def test_gpu_failure_triggers_cow_divergence():
+    """A GPU epoch transition (failure) is the copy-on-write trigger: the
+    member detaches with a private, bitwise-equal copy of the canonical
+    parameters, and the arena's dedup_epoch records the change."""
+    from repro.hardware import GpuHealth
+    from repro.hardware.specs import V100_NODE
+    from repro.parallel.topology import ParallelLayout
+    from repro.workloads import TrainingJob, WorkloadSpec
+
+    with dedup_mod.dedup(True):
+        spec = WorkloadSpec(name="DEDUPFAIL", model="GPT2-S",
+                            node_spec=V100_NODE, num_nodes=1,
+                            layout=ParallelLayout(dp=4), engine="ddp",
+                            framework="equivalence", minibatch_time=0.05)
+        job = TrainingJob(spec)
+        job.run_training(2)
+        arena = job.dedup_arenas[0]
+        epoch_before = arena.dedup_epoch
+        victim = job.engines[3]
+        canonical = {name: array.copy()
+                     for name, array in arena.params.items()}
+        victim.api.ctx.gpu.fail(GpuHealth.DEAD)
+        assert not arena.member_active(3)
+        assert arena.dedup_epoch == epoch_before + 1
+        for name, buf in victim.param_buffers.items():
+            assert buf.array is not arena.params[name], name
+            assert np.array_equal(buf.array, canonical[name]), name
+
+
+def test_oracle_grid_identical_with_dedup_on_and_off():
+    """Managed (interception-API) runs materialise per-rank replay logs, so
+    attach_job must refuse to dedup them: the oracle grid passes and its
+    goldens are identical whichever way the dedup switch points."""
+    from repro.oracle import (FailurePoint, FailureSchedule, RecoveryOracle,
+                              STRATEGIES)
+
+    schedule = FailureSchedule(points=(
+        FailurePoint(2, "GPU_HARD", 1, offset=0.4),))
+    goldens = {}
+    for on in (True, False):
+        with dedup_mod.dedup(on):
+            oracle = RecoveryOracle(iterations=8)
+            for strategy in STRATEGIES:
+                verdict = oracle.check(schedule, strategy)
+                assert verdict.passed, (on, verdict.describe())
+            goldens[on] = {strategy: oracle.golden(strategy)
+                           for strategy in STRATEGIES}
+    assert goldens[True] == goldens[False]
