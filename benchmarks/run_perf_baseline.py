@@ -56,6 +56,9 @@ BENCH_THRESHOLDS = {
     "bench_ddp_training_throughput": 0.30,
     "bench_3d_training_throughput": 0.30,
     "bench_fsdp_training_throughput": 0.30,
+    # Dominated by real sha256 digesting of payloads (manifest writes and
+    # validated plans), so wall clock tracks CPU hashing throughput.
+    "bench_checkpoint_store_throughput": 0.30,
 }
 DEFAULT_THRESHOLD = 0.25
 

@@ -222,7 +222,9 @@ def _execute_oracle_scenario(spec: ScenarioSpec) -> dict:
     if spec.schedule is not None:
         schedules = [FailureSchedule.from_json(spec.schedule)]
     else:
-        schedules = list(oracle.fuzzer(spec.seed).schedules(spec.fuzz_count))
+        fuzzer = oracle.fuzzer(spec.seed, shapes=spec.shapes,
+                               include_storage=spec.include_storage)
+        schedules = list(fuzzer.schedules(spec.fuzz_count))
     verdicts = [oracle.check(schedule, spec.strategy)
                 for schedule in schedules]
     events = oracle.events_processed
@@ -240,6 +242,7 @@ def _execute_oracle_scenario(spec: ScenarioSpec) -> dict:
             "violations": [str(violation) for v in failures
                            for violation in v.violations],
             "failing_schedules": [v.schedule.to_json() for v in failures],
+            "storage": dict(oracle.storage_stats),
         },
         "perf": {
             "events": events,

@@ -119,6 +119,13 @@ class ScenarioSpec:
     #: ``seed`` instead.
     schedule: Optional[str] = None
     fuzz_count: int = 0
+    #: Oracle fuzz scenarios only: restrict the fuzzer to these schedule
+    #: shapes (e.g. the storage-corruption pair); ``None`` keeps the
+    #: default rotation.
+    shapes: Optional[tuple[str, ...]] = None
+    #: Oracle fuzz scenarios only: add the torn-write/bit-rot shapes to
+    #: the default draw rotation (opt-in, like the fuzzer flag).
+    include_storage: bool = False
 
     def __post_init__(self):
         from repro.workloads.catalog import WORKLOADS
@@ -146,6 +153,16 @@ class ScenarioSpec:
             if (self.schedule is None) == (self.fuzz_count < 1):
                 raise ValueError("oracle scenarios need exactly one of "
                                  "a JSON schedule or fuzz_count >= 1")
+            if self.shapes is not None:
+                from repro.oracle.schedule import (NETWORK_SHAPES, SHAPES,
+                                                   STORAGE_SHAPES)
+
+                known = set(SHAPES + NETWORK_SHAPES + STORAGE_SHAPES)
+                unknown = set(self.shapes) - known
+                if unknown:
+                    raise ValueError(
+                        f"unknown oracle shapes {sorted(unknown)}; choose "
+                        f"from {sorted(known)}")
 
     @property
     def scenario_id(self) -> str:
@@ -155,6 +172,8 @@ class ScenarioSpec:
         if self.kind == KIND_ORACLE:
             source = ("replay" if self.schedule is not None
                       else f"fuzz{self.fuzz_count}")
+            if self.schedule is None and self.shapes is not None:
+                source += "[" + ",".join(self.shapes) + "]"
             return f"{self.workload}/oracle/{self.strategy}/{source}/seed{self.seed}"
         return f"{self.workload}/{self.policy}/seed{self.seed}"
 
@@ -164,6 +183,8 @@ class ScenarioSpec:
         out["type_mix"] = [list(pair) for pair in self.type_mix]
         if self.init_costs is not None:
             out["init_costs"] = list(self.init_costs)
+        if self.shapes is not None:
+            out["shapes"] = list(self.shapes)
         return out
 
     def content_hash(self) -> str:

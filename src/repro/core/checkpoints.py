@@ -1,24 +1,35 @@
-"""Checkpoint naming, atomic commit, and assembly.
+"""Checkpoint naming, atomic commit, validation and assembly.
 
-Implements the Section 3.2/3.3 scheme:
+Implements the Section 3.2/3.3 scheme, hardened to ckptkit grade:
 
 * each rank writes its state under a rank-dependent path so simultaneous
   writers never collide;
-* a small metadata object is written *after* the data object; a checkpoint
-  without metadata is torn and is discarded during assembly;
+* writes are atomic — data goes to a ``.part`` temp object and is
+  published by rename, then a sha256 *manifest* covering every state
+  entry is committed the same way.  A crash or torn write mid-transfer
+  leaves only an unreadable partial temp object: the final path never
+  names a lie;
 * restore looks for a checkpoint from *any* data-parallel replica of the
   same shard (``jit_get_checkpoint_path``), newest complete one first, and
   also considers periodic checkpoints — "the most recent checkpoint will
   be used, which can be either a periodic checkpoint or a JIT checkpoint"
-  (Section 6.3).
+  (Section 6.3);
+* reads are validated against the manifest; corrupt checkpoints (bit rot
+  at rest) are quarantined and the resume planner falls back to the
+  newest checkpoint that still validates;
+* retention GC consults the validator so it never collects the last
+  valid restore point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, Iterable, Optional
 
+from repro.storage.manifest import MANIFEST_NBYTES, Manifest, write_atomic
+from repro.storage.planner import ResumePlanner, RetentionPolicy
 from repro.storage.stores import SharedObjectStore
+from repro.storage.validate import CheckpointValidator, CorruptCheckpointError
 
 
 @dataclass(frozen=True)
@@ -45,9 +56,13 @@ class CheckpointKey:
 class CheckpointRegistry:
     """All checkpoint reads/writes for one job against the shared store."""
 
-    def __init__(self, store: SharedObjectStore, job_id: str = "job0"):
+    def __init__(self, store: SharedObjectStore, job_id: str = "job0",
+                 retention: Optional[RetentionPolicy] = None):
         self.store = store
         self.job_id = job_id
+        self.retention = retention
+        self.validator = CheckpointValidator(store)
+        self.planner = ResumePlanner(self)
 
     def _prefix(self, path: str) -> str:
         return f"{self.job_id}/{path}"
@@ -55,12 +70,22 @@ class CheckpointRegistry:
     # -- writing ---------------------------------------------------------------------
 
     def write(self, key: CheckpointKey, state: dict, nbytes: int) -> Generator:
-        """Write data then commit metadata (both timed; kill-safe)."""
-        yield from self.store.write(self._prefix(key.data_path), state, nbytes)
-        meta = {"iteration": key.iteration, "shard_id": key.shard_id,
-                "rank": key.rank, "kind": key.kind, "epoch": key.epoch}
-        yield from self.store.write(self._prefix(key.meta_path), meta,
-                                    nbytes=4096)
+        """Atomic write: data (temp + rename), then the manifest.
+
+        Both transfers are timed and kill-safe; a kill or torn write
+        leaves at most a partial ``.part`` object and never a published
+        manifest, so readers cannot observe a half-written checkpoint.
+        Raises :class:`~repro.storage.stores.TornWriteError` if the store
+        tears the transfer.
+        """
+        data_path = self._prefix(key.data_path)
+        manifest = Manifest.for_payload(
+            data_path, state, nbytes,
+            meta={"iteration": key.iteration, "shard_id": key.shard_id,
+                  "rank": key.rank, "kind": key.kind, "epoch": key.epoch})
+        yield from write_atomic(self.store, data_path, state, nbytes)
+        yield from write_atomic(self.store, self._prefix(key.meta_path),
+                                manifest.to_payload(), MANIFEST_NBYTES)
 
     # -- discovery -------------------------------------------------------------------
 
@@ -70,12 +95,16 @@ class CheckpointRegistry:
         for meta_path in self.store.list(prefix):
             if not meta_path.endswith("/meta"):
                 continue
-            meta = self.store.stat(meta_path).payload
-            if meta["shard_id"] != shard_id:
-                continue
-            key = CheckpointKey(kind=meta["kind"], epoch=meta["epoch"],
-                                shard_id=meta["shard_id"], rank=meta["rank"],
-                                iteration=meta["iteration"])
+            meta = self.store.stat(meta_path).peek()
+            try:
+                if meta["shard_id"] != shard_id:
+                    continue
+                key = CheckpointKey(kind=meta["kind"], epoch=meta["epoch"],
+                                    shard_id=meta["shard_id"],
+                                    rank=meta["rank"],
+                                    iteration=meta["iteration"])
+            except (KeyError, TypeError):
+                continue    # malformed/rotted meta record: not discoverable
             # Metadata implies the data object committed first, but verify:
             # a crash between data-complete and meta-complete is benign,
             # the reverse would be a torn checkpoint.
@@ -83,25 +112,30 @@ class CheckpointRegistry:
                 keys.append(key)
         return keys
 
+    def _all_keys(self, shard_id: str) -> list[CheckpointKey]:
+        return (self._complete_keys("jit", shard_id)
+                + self._complete_keys("periodic", shard_id))
+
     def jit_get_checkpoint_path(self, shard_id: str) -> Optional[CheckpointKey]:
         """The library call of Section 3.3: best checkpoint for a shard.
 
         Any data-parallel replica's checkpoint is acceptable; newest
         iteration wins, JIT and periodic considered together.
         """
-        candidates = (self._complete_keys("jit", shard_id)
-                      + self._complete_keys("periodic", shard_id))
+        candidates = self._all_keys(shard_id)
         if not candidates:
             return None
         return max(candidates, key=lambda k: (k.iteration, k.epoch, -k.rank))
+
+    def iterations_for(self, shard_id: str) -> set[int]:
+        """All iterations with a discoverable checkpoint for *shard_id*."""
+        return {k.iteration for k in self._all_keys(shard_id)}
 
     def latest_consistent_iteration(self, shard_ids: list[str]) -> Optional[int]:
         """Largest iteration for which *every* shard has a checkpoint."""
         per_shard = []
         for shard_id in set(shard_ids):
-            iterations = {k.iteration
-                          for k in (self._complete_keys("jit", shard_id)
-                                    + self._complete_keys("periodic", shard_id))}
+            iterations = self.iterations_for(shard_id)
             if not iterations:
                 return None
             per_shard.append(iterations)
@@ -113,41 +147,108 @@ class CheckpointRegistry:
     def checkpoint_at(self, shard_id: str,
                       iteration: int) -> Optional[CheckpointKey]:
         """A complete checkpoint of *shard_id* at exactly *iteration*."""
-        candidates = [k for k in (self._complete_keys("jit", shard_id)
-                                  + self._complete_keys("periodic", shard_id))
+        candidates = [k for k in self._all_keys(shard_id)
                       if k.iteration == iteration]
         if not candidates:
             return None
         return max(candidates, key=lambda k: (k.epoch, -k.rank))
 
+    def valid_checkpoint_at(self, shard_id: str,
+                            iteration: int) -> Optional[CheckpointKey]:
+        """Like :meth:`checkpoint_at`, but manifest-validated.
+
+        Candidates that fail validation are condemned (quarantined) on
+        the spot; the best surviving one is returned, or None when every
+        replica at this iteration is corrupt.
+        """
+        candidates = sorted(
+            (k for k in self._all_keys(shard_id) if k.iteration == iteration),
+            key=lambda k: (k.epoch, -k.rank), reverse=True)
+        for key in candidates:
+            result = self.validator.validate_at_rest(
+                self._prefix(key.data_path), self._prefix(key.meta_path))
+            if result.ok:
+                return key
+            self.validator.condemn(self._prefix(key.data_path),
+                                   self._prefix(key.meta_path), result.detail)
+        return None
+
     def read(self, key: CheckpointKey) -> Generator:
-        """Timed read of a checkpoint's data payload."""
+        """Timed read of a checkpoint's data payload (unvalidated)."""
         state = yield from self.store.read(self._prefix(key.data_path))
+        return state
+
+    def read_validated(self, key: CheckpointKey) -> Generator:
+        """Timed read plus manifest verification of the payload.
+
+        Corruption condemns the checkpoint and raises
+        :class:`~repro.storage.validate.CorruptCheckpointError` so the
+        caller can fall back to another replica.
+        """
+        state = yield from self.store.read(self._prefix(key.data_path))
+        result = self.validator.verify_read(state, self._prefix(key.meta_path),
+                                            self._prefix(key.data_path))
+        if not result.ok:
+            self.validator.condemn(self._prefix(key.data_path),
+                                   self._prefix(key.meta_path), result.detail)
+            raise CorruptCheckpointError(self._prefix(key.data_path),
+                                         result.detail)
         return state
 
     def shard_has_checkpoint(self, shard_id: str) -> bool:
         return self.jit_get_checkpoint_path(shard_id) is not None
 
+    # -- validated resume planning --------------------------------------------------------
+
+    def latest_valid_iteration(self, shard_id: str) -> Optional[int]:
+        """Newest iteration with a checkpoint that passes validation."""
+        for iteration in sorted(self.iterations_for(shard_id), reverse=True):
+            if self.valid_checkpoint_at(shard_id, iteration) is not None:
+                return iteration
+        return None
+
+    def latest_valid_consistent_iteration(
+            self, shard_ids: Iterable[str]) -> Optional[int]:
+        """Largest iteration every shard can restore *with integrity*."""
+        shards = sorted(set(shard_ids))
+        common = None
+        for shard_id in shards:
+            iterations = self.iterations_for(shard_id)
+            common = iterations if common is None else common & iterations
+            if not common:
+                return None
+        for iteration in sorted(common, reverse=True):
+            if all(self.valid_checkpoint_at(s, iteration) is not None
+                   for s in shards):
+                return iteration
+        return None
+
     # -- garbage collection --------------------------------------------------------------
 
     def garbage_collect(self, shard_ids: list[str],
-                        keep_iterations: int = 2) -> int:
-        """Delete all but the newest *keep_iterations* checkpoint
-        iterations per shard; returns the number of checkpoints removed.
+                        keep_iterations: int = 2,
+                        retention: Optional[RetentionPolicy] = None) -> int:
+        """Thin old checkpoints per the retention policy; returns the
+        number of checkpoints removed.
 
-        Never deletes an iteration another shard still depends on for a
-        consistent restore (the newest *mutually consistent* iteration is
-        always retained).
+        Consults the validator: the newest *valid* mutually-consistent
+        iteration and each shard's newest valid iteration are always
+        retained, so GC can never collect the last valid restore point
+        even when everything newer is corrupt.
         """
-        protected = self.latest_consistent_iteration(shard_ids)
+        policy = (retention or self.retention
+                  or RetentionPolicy(keep_last=keep_iterations))
+        shards = set(shard_ids)
+        protected = self.latest_valid_consistent_iteration(shards)
         removed = 0
-        for shard_id in set(shard_ids):
-            keys = (self._complete_keys("jit", shard_id)
-                    + self._complete_keys("periodic", shard_id))
-            iterations = sorted({k.iteration for k in keys}, reverse=True)
-            keep = set(iterations[:keep_iterations])
+        for shard_id in shards:
+            keys = self._all_keys(shard_id)
+            keep = policy.kept(k.iteration for k in keys)
             if protected is not None:
                 keep.add(protected)
+            newest_valid = self.latest_valid_iteration(shard_id)
+            if newest_valid is not None:
+                keep.add(newest_valid)
             for key in keys:
                 if key.iteration not in keep:
                     self.store.delete(self._prefix(key.data_path))

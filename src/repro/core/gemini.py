@@ -25,6 +25,8 @@ from typing import Generator, Optional
 from repro.cluster.manager import JobManager, RunReport
 from repro.cluster.worker import InitCosts
 from repro.sim import Environment, Tracer
+from repro.storage.manifest import value_digest
+from repro.storage.stores import _flip_leaf, match_fragment
 from repro.workloads.catalog import WorkloadSpec
 
 
@@ -33,6 +35,8 @@ class _RamEntry:
     iteration: int
     state: dict
     nbytes: int
+    #: Digest of the state at put time; buddy-RAM's one-entry manifest.
+    digest: str = ""
 
 
 class PeerRamStore:
@@ -40,23 +44,73 @@ class PeerRamStore:
 
     Entries die with their node: reads check that the hosting node is
     still alive, which is what makes buddy *placement* matter.
+
+    Speaks the same storage-failure protocol as the object stores: a
+    torn-write trap makes the next matching RDMA copy into buddy RAM
+    vanish (puts are atomic slot swaps, so nothing partial is visible),
+    and bit rot flips a leaf of an at-rest entry — caught at restore
+    time because every entry carries a digest taken at put time.
     """
 
     def __init__(self, env: Environment):
         self.env = env
         self._slots: dict[str, dict[str, _RamEntry]] = {}
         self._nodes: dict[str, object] = {}
+        self._torn_traps: list[str] = []
+        self._rot_traps: list[str] = []
+        #: Keys dropped after failing their digest check, in order.
+        self.quarantine_log: list[str] = []
+        self.stats = {"puts": 0, "writes_torn": 0, "bit_rot_injected": 0,
+                      "quarantined": 0}
 
     def register_node(self, node) -> None:
         self._nodes[node.name] = node
         self._slots.setdefault(node.name, {})
 
+    # -- failure protocol (mirrors _BaseStore) -----------------------------------
+
+    def arm_torn_write(self, fragment: str = "") -> bool:
+        self._torn_traps.append(fragment)
+        return True
+
+    def inject_bit_rot(self, fragment: str = "", salt: int = 0) -> bool:
+        entries = [(entry.iteration, key, entry)
+                   for slots in self._slots.values()
+                   for key, entry in slots.items()
+                   if match_fragment(key, fragment)]
+        if entries:
+            entries.sort(key=lambda t: (t[0], t[1]))
+            _, _, victim = entries[-1]
+            if _flip_leaf(victim.state, salt) is not None:
+                self.stats["bit_rot_injected"] += 1
+            return True
+        self._rot_traps.append(fragment)
+        return False
+
+    def _consume_trap(self, traps: list[str], key: str) -> bool:
+        for i, fragment in enumerate(traps):
+            if match_fragment(key, fragment):
+                del traps[i]
+                return True
+        return False
+
+    # -- slots ------------------------------------------------------------------
+
     def put(self, node_name: str, key: str, iteration: int, state: dict,
-            nbytes: int) -> None:
+            nbytes: int) -> bool:
         import copy
 
-        self._slots[node_name][key] = _RamEntry(iteration,
-                                                copy.deepcopy(state), nbytes)
+        if self._consume_trap(self._torn_traps, key):
+            self.stats["writes_torn"] += 1
+            return False  # the copy tore; the old slot (if any) survives
+        entry = _RamEntry(iteration, copy.deepcopy(state), nbytes,
+                          digest=value_digest(state))
+        if self._consume_trap(self._rot_traps, key):
+            if _flip_leaf(entry.state, salt=iteration) is not None:
+                self.stats["bit_rot_injected"] += 1
+        self._slots[node_name][key] = entry
+        self.stats["puts"] += 1
+        return True
 
     def get(self, node_name: str, key: str) -> Optional[_RamEntry]:
         node = self._nodes.get(node_name)
@@ -68,7 +122,19 @@ class PeerRamStore:
         import copy
 
         return _RamEntry(entry.iteration, copy.deepcopy(entry.state),
-                         entry.nbytes)
+                         entry.nbytes, digest=entry.digest)
+
+    def get_validated(self, node_name: str, key: str) -> Optional[_RamEntry]:
+        """Like :meth:`get`, but a digest mismatch drops the slot."""
+        entry = self.get(node_name, key)
+        if entry is None:
+            return None
+        if entry.digest and value_digest(entry.state) != entry.digest:
+            del self._slots[node_name][key]
+            self.quarantine_log.append(f"{node_name}/{key}")
+            self.stats["quarantined"] += 1
+            return None
+        return entry
 
 
 @dataclass(frozen=True)
@@ -174,7 +240,7 @@ class GeminiRunner:
                 for key in list(self.ram._slots[node_name]):
                     if not key.startswith(f"{engine.shard_id}/"):
                         continue
-                    entry = self.ram.get(node_name, key)
+                    entry = self.ram.get_validated(node_name, key)
                     if entry and (best is None
                                   or entry.iteration > best.iteration):
                         best, best_node = entry, node_name

@@ -27,7 +27,8 @@ from repro.core.checkpoints import CheckpointKey, CheckpointRegistry
 from repro.core.config import JitConfig
 from repro.core.telemetry import RecoveryTelemetry
 from repro.sim import Environment, Tracer
-from repro.storage.stores import SharedObjectStore
+from repro.storage.stores import SharedObjectStore, TornWriteError
+from repro.storage.validate import CorruptCheckpointError
 from repro.workloads.catalog import WorkloadSpec
 
 
@@ -125,7 +126,13 @@ class PeriodicCheckpointer:
         if self.policy.mode is CheckpointMode.PC_DISK:
             # Critical path: copy + persist, then metadata.
             yield self.env.timeout(stall)
-            yield from self.registry.write(key, state, nbytes=0)
+            try:
+                yield from self.registry.write(key, state, nbytes=0)
+            except TornWriteError:
+                # Store tore the write: this checkpoint is lost (the
+                # partial temp object is never published); training
+                # continues and the next interval retries.
+                pass
         else:
             # Critical path is only the snapshot; persistence is async.
             yield self.env.timeout(stall)
@@ -140,7 +147,10 @@ class PeriodicCheckpointer:
 
     def _async_persist(self, key: CheckpointKey, state: dict,
                        nbytes: int) -> Generator:
-        yield from self.registry.write(key, state, nbytes=nbytes)
+        try:
+            yield from self.registry.write(key, state, nbytes=nbytes)
+        except TornWriteError:
+            pass  # upload torn: nothing published, next interval retries
 
 
 class PeriodicRunner:
@@ -179,8 +189,7 @@ class PeriodicRunner:
 
     def _on_generation_start(self, generation: int, job, workers) -> None:
         shard_ids = [engine.shard_id for engine in job.engines]
-        self._resume_iteration = self.registry.latest_consistent_iteration(
-            shard_ids)
+        self._resume_iteration = self.registry.planner.plan(shard_ids).iteration
 
     def _make_restore_fn(self, generation: int, rank: int, job):
         engine = job.engines[rank]
@@ -188,11 +197,21 @@ class PeriodicRunner:
         def restore(worker) -> Generator:
             if self._resume_iteration is None:
                 return
-            key = self.registry.checkpoint_at(engine.shard_id,
-                                              self._resume_iteration)
+            key = self.registry.valid_checkpoint_at(engine.shard_id,
+                                                    self._resume_iteration)
             if key is None:
                 return
-            state = yield from self.registry.read(key)
+            state = None
+            while state is None:
+                try:
+                    state = yield from self.registry.read_validated(key)
+                except CorruptCheckpointError:
+                    key = self.registry.valid_checkpoint_at(
+                        engine.shard_id, self._resume_iteration)
+                    if key is None:
+                        raise RuntimeError(
+                            f"no valid checkpoint left for {engine.shard_id} "
+                            f"at iteration {self._resume_iteration}")
             engine.load_state_dict(state)
             ctx = engine.api.ctx
             yield from ctx.node.pcie_for(ctx.gpu).use(

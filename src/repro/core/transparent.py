@@ -46,7 +46,8 @@ from repro.cuda.runtime import CudaContext
 from repro.hardware.gpu import Gpu, GpuHealth
 from repro.nccl.communicator import NcclCommunicator
 from repro.sim import Environment, Event, Tracer
-from repro.storage.stores import SharedObjectStore
+from repro.storage.manifest import manifest_path, write_with_manifest
+from repro.storage.stores import SharedObjectStore, TornWriteError
 from repro.workloads.builder import TrainingJob
 from repro.workloads.catalog import WorkloadSpec
 
@@ -413,21 +414,41 @@ class RecoveryCoordinator:
         nbytes = proxy.persistent_state_bytes()
         gpu = proxy.ctx.gpu
         yield from proxy.ctx.node.pcie_for(gpu).use(gpu.pcie_time(nbytes))
-        yield from self.registry.store.write(
-            self._ckpt_path(engine.shard_id, proxy.rank), payload, nbytes)
+        path = self._ckpt_path(engine.shard_id, proxy.rank)
+        try:
+            yield from write_with_manifest(self.registry.store, path,
+                                           manifest_path(path), payload,
+                                           nbytes)
+        except TornWriteError:
+            # Upload torn mid-transfer: only an unreadable partial temp
+            # object exists; a data-parallel replica's file covers the
+            # shard on the restore side.
+            pass
 
     def _read_gpu_checkpoint(self, proxy: DeviceProxyApi,
                              target: int) -> Generator:
         engine = self.job.engines[proxy.rank]
         store = self.registry.store
         # Prefer our own file; fall back to any replica of our shard.
+        # Every candidate must pass manifest validation — bit rot at rest
+        # condemns the file to quarantine and the next replica is tried.
         candidates = [self._ckpt_path(engine.shard_id, proxy.rank)]
         candidates += [self._ckpt_path(engine.shard_id, peer.rank)
                        for peer in self.proxies if peer is not proxy]
-        path = next((p for p in candidates if store.exists(p)), None)
+        path = None
+        for cand in candidates:
+            if not store.exists(cand):
+                continue
+            result = self.registry.validator.validate_at_rest(
+                cand, manifest_path(cand))
+            if result.ok:
+                path = cand
+                break
+            self.registry.validator.condemn(cand, manifest_path(cand),
+                                            result.detail)
         if path is None:
             raise RuntimeError(
-                f"rank{proxy.rank}: no replica checkpoint for shard "
+                f"rank{proxy.rank}: no valid replica checkpoint for shard "
                 f"{engine.shard_id!r}")
         payload = yield from store.read(path)
         for vbuf in proxy.persistent_buffers():

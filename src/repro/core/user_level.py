@@ -34,7 +34,8 @@ from repro.cuda.memory import BufferKind
 from repro.cuda.runtime import CudaContext
 from repro.parallel.deviceapi import DeviceApi
 from repro.sim import AnyOf, Environment, Tracer
-from repro.storage.stores import SharedObjectStore
+from repro.storage.stores import SharedObjectStore, TornWriteError
+from repro.storage.validate import CorruptCheckpointError
 from repro.workloads.catalog import WorkloadSpec
 
 
@@ -111,9 +112,11 @@ class JitRankClient:
         checkpoint_fn = self.save_checkpoint_fn or self._builtin_save_checkpoint
         try:
             key = yield from checkpoint_fn(self)
-        except CudaApiError as exc:
-            # This rank's own GPU is gone; it cannot contribute a
-            # checkpoint.  A data-parallel replica covers its shard.
+        except (CudaApiError, TornWriteError) as exc:
+            # This rank cannot contribute a checkpoint: its own GPU is
+            # gone, or the store tore the upload mid-transfer (the torn
+            # object is a partial temp file no reader can observe).  A
+            # data-parallel replica covers its shard either way.
             record.notes["checkpoint_failed"] = str(exc)
             self.telemetry.end(span)
             self.telemetry.finish(record)
@@ -260,10 +263,12 @@ class UserLevelJitRunner:
         for rank, engine in enumerate(job.engines):
             self.clients[rank].bind(engine)
         # Resolve the resume point once per generation (checkpoint
-        # assembly): the newest iteration every shard can restore.
+        # assembly): the newest iteration every shard can restore *with
+        # integrity* — corrupt candidates are quarantined by the planner
+        # and the plan falls back to the newest one that validates.
         shard_ids = [engine.shard_id for engine in job.engines]
-        self._resume_iteration = self.registry.latest_consistent_iteration(
-            shard_ids)
+        plan = self.registry.planner.plan(shard_ids)
+        self._resume_iteration = plan.iteration
         # Old failure epochs are dead weight once a newer consistent
         # restore point exists; reclaim the store.
         self.registry.garbage_collect(shard_ids, keep_iterations=2)
@@ -274,13 +279,25 @@ class UserLevelJitRunner:
         def restore(worker) -> Generator:
             if self._resume_iteration is None:
                 return  # cold start from iteration 0
-            key = self.registry.checkpoint_at(engine.shard_id,
-                                              self._resume_iteration)
-            if key is None:  # pragma: no cover - consistent iteration implies key
+            key = self.registry.valid_checkpoint_at(engine.shard_id,
+                                                    self._resume_iteration)
+            if key is None:  # pragma: no cover - plan implies a valid key
                 return
             record = self.telemetry.start("user_level_restore", rank=rank)
             span = self.telemetry.begin(record, "restore")
-            state = yield from self.registry.read(key)
+            state = None
+            while state is None:
+                try:
+                    state = yield from self.registry.read_validated(key)
+                except CorruptCheckpointError:
+                    # Rot raced the plan; the bad replica is quarantined —
+                    # fall back to another valid one at the same iteration.
+                    key = self.registry.valid_checkpoint_at(
+                        engine.shard_id, self._resume_iteration)
+                    if key is None:
+                        raise RuntimeError(
+                            f"no valid checkpoint left for {engine.shard_id} "
+                            f"at iteration {self._resume_iteration}")
             engine.load_state_dict(state)
             # Upload parameters + optimizer state back to the GPU.
             ctx = engine.api.ctx

@@ -23,6 +23,14 @@ class FailureInjector:
         #: Events whose target left the cluster before they fired (e.g.
         #: the node was swapped out for a spare after an earlier failure).
         self.skipped: list[FailureEvent] = []
+        #: Checkpoint stores storage failures (TORN_WRITE / BIT_ROT) hit.
+        self.stores: list = []
+        self._rot_salt = 0
+
+    def attach_store(self, store) -> None:
+        """Register a checkpoint store as a storage-failure target."""
+        if store not in self.stores:
+            self.stores.append(store)
 
     def arm(self, events: Iterable[FailureEvent]) -> None:
         """Schedule every event (each runs as its own tiny process)."""
@@ -110,6 +118,17 @@ class FailureInjector:
             self.cluster.gpu_by_id(event.target).fail(GpuHealth.DRIVER_CORRUPT)
         elif kind is FailureType.NETWORK_TRANSIENT:
             self.cluster.fabric.uplink(event.target).fail(LinkHealth.DEGRADED)
+        elif kind is FailureType.TORN_WRITE:
+            if not self.stores:
+                raise KeyError("no store attached for torn_write")
+            for store in self.stores:
+                store.arm_torn_write(event.target)
+        elif kind is FailureType.BIT_ROT:
+            if not self.stores:
+                raise KeyError("no store attached for bit_rot")
+            self._rot_salt += 1
+            for store in self.stores:
+                store.inject_bit_rot(event.target, salt=self._rot_salt)
         elif kind is FailureType.NODE_CRASH:
             for node in self.cluster.nodes:
                 if node.name == event.target:

@@ -28,10 +28,22 @@ class FailureType(enum.Enum):
     #: per the paper; needs migration (and, without surviving replicas,
     #: a periodic checkpoint).
     NODE_CRASH = "node_crash"
+    #: Storage fault: the next matching checkpoint write dies mid-transfer,
+    #: leaving a partial object (and a :class:`TornWriteError` in the
+    #: writer).  Atomic publish means the torn object is never readable.
+    TORN_WRITE = "torn_write"
+    #: Storage fault: silent at-rest corruption — one element of a stored
+    #: checkpoint payload is bit-flipped; only manifest validation can tell.
+    BIT_ROT = "bit_rot"
 
     @property
     def is_hard(self) -> bool:
         return self in (FailureType.GPU_HARD, FailureType.NODE_CRASH)
+
+    @property
+    def is_storage(self) -> bool:
+        """Does this failure strike checkpoint storage, not compute?"""
+        return self in (FailureType.TORN_WRITE, FailureType.BIT_ROT)
 
     @property
     def gpu_state_accessible(self) -> bool:
@@ -47,7 +59,8 @@ class FailureEvent:
     time: float
     failure_type: FailureType
     #: GPU id ("node0/gpu3") for GPU failures, node name for NODE_CRASH /
-    #: NETWORK_TRANSIENT (the node whose uplink flaps).
+    #: NETWORK_TRANSIENT (the node whose uplink flaps), a checkpoint path
+    #: fragment ("rank2", or "" for any) for storage failures.
     target: str
     #: NETWORK_TRANSIENT only: how long the link stays degraded.
     duration: Optional[float] = None

@@ -15,7 +15,8 @@ import argparse
 import sys
 
 from repro.oracle.oracle import DEFAULT_ITERATIONS, RecoveryOracle
-from repro.oracle.schedule import FailureSchedule
+from repro.oracle.schedule import (NETWORK_SHAPES, SHAPES, STORAGE_SHAPES,
+                                   FailureSchedule)
 from repro.oracle.shrinker import shrink
 from repro.oracle.strategies import STRATEGIES
 
@@ -37,6 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schedules to draw")
     sweep.add_argument("--strategies", nargs="+", default=list(STRATEGIES),
                        choices=list(STRATEGIES))
+    sweep.add_argument("--shapes", nargs="+", default=None,
+                       choices=list(SHAPES + NETWORK_SHAPES + STORAGE_SHAPES),
+                       help="restrict the fuzzer to these schedule shapes")
+    sweep.add_argument("--include-storage", action="store_true",
+                       help="add torn-write/bit-rot corruption shapes to "
+                            "the draw rotation")
     _add_common(sweep)
 
     replay = sub.add_parser("replay", help="replay one schedule")
@@ -60,6 +67,7 @@ def main(argv=None) -> int:
     if args.command == "sweep":
         report = oracle.sweep(
             args.seed, args.count, strategies=args.strategies,
+            shapes=args.shapes, include_storage=args.include_storage,
             progress=lambda v: print(v.describe()))
         print()
         for line in report.summary_lines():

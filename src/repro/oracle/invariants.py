@@ -26,7 +26,18 @@ list of :class:`Violation`.  The catalogue:
 ``gc_live_checkpoint``
     The checkpoint-store garbage collector never deleted the newest
     consistent restore point (collected as the run executes, reported
-    here).
+    here) — under corruption, the newest *valid* consistent restore
+    point.
+``resume_target_validates``
+    Every checkpoint the run's validator approved at a resume or read
+    decision also passes an independent pristine re-verification
+    (collected as the run executes) — a deliberately broken validator
+    cannot hide corruption from the oracle.
+``quarantine_append_only``
+    Quarantined (condemned) checkpoint objects are never deleted,
+    renamed, overwritten or re-corrupted, and every quarantined object
+    is still present at the end of the run — the forensic record
+    survives.
 """
 
 from __future__ import annotations
@@ -166,6 +177,27 @@ def check_gc_live_checkpoint(run) -> list[Violation]:
             for detail in run.gc_violations]
 
 
+def check_resume_target_validates(run) -> list[Violation]:
+    return [Violation("resume_target_validates", detail)
+            for detail in getattr(run, "resume_audits", ())]
+
+
+def check_quarantine_append_only(run) -> list[Violation]:
+    violations = []
+    store = getattr(run, "store", None)
+    if store is not None:
+        for breach in getattr(store, "quarantine_violations", ()):
+            violations.append(Violation(
+                "quarantine_append_only",
+                f"attempted mutation of quarantined object: {breach}"))
+        for qpath in getattr(store, "quarantine_log", ()):
+            if store.stat(qpath) is None:
+                violations.append(Violation(
+                    "quarantine_append_only",
+                    f"quarantined object {qpath} disappeared"))
+    return violations
+
+
 def check_all(run, golden: list[float]) -> list[Violation]:
     """The full catalogue against one run."""
     violations = list(check_exactness(run, golden))
@@ -174,4 +206,6 @@ def check_all(run, golden: list[float]) -> list[Violation]:
     violations += check_replay_log_reset(run)
     violations += check_virtual_handles(run)
     violations += check_gc_live_checkpoint(run)
+    violations += check_resume_target_validates(run)
+    violations += check_quarantine_append_only(run)
     return violations

@@ -105,6 +105,9 @@ class RecoveryOracle:
         #: Simulator events dispatched by runs checked so far (perf
         #: telemetry; golden reference runs are not counted).
         self.events_processed = 0
+        #: Checkpoint-store counters summed over runs checked so far
+        #: (writes torn, bit rot injected, objects quarantined, ...).
+        self.storage_stats: dict[str, int] = {}
 
     def golden(self, strategy: str) -> list[float]:
         """Failure-free loss stream for *strategy*'s workload variant."""
@@ -122,6 +125,9 @@ class RecoveryOracle:
     def check(self, schedule: FailureSchedule, strategy: str) -> Verdict:
         run = self.run(schedule, strategy)
         self.events_processed += run.events
+        for holder in (run.store, run.ram):
+            for key, count in getattr(holder, "stats", {}).items():
+                self.storage_stats[key] = self.storage_stats.get(key, 0) + count
         violations = tuple(check_all(run, self.golden(strategy)))
         if not violations:
             outcome = "exact"
@@ -145,9 +151,16 @@ class RecoveryOracle:
     def sweep(self, seed: int, count: int,
               strategies: Optional[Sequence[str]] = None,
               shapes: Optional[Sequence[str]] = None,
+              include_storage: bool = False,
               progress=None) -> SweepReport:
-        """Fuzz *count* schedules; check each against every strategy."""
-        fuzzer = self.fuzzer(seed, shapes=tuple(shapes) if shapes else None)
+        """Fuzz *count* schedules; check each against every strategy.
+
+        ``include_storage`` adds the torn-write / bit-rot corruption
+        shapes to the draw rotation (opt-in so existing seeded draw
+        orders are unchanged); an explicit ``shapes`` list overrides it.
+        """
+        fuzzer = self.fuzzer(seed, shapes=tuple(shapes) if shapes else None,
+                             include_storage=include_storage)
         report = SweepReport(seed=seed, iterations=self.iterations)
         for schedule in fuzzer.schedules(count):
             for strategy in (strategies or self.strategies):

@@ -40,6 +40,10 @@ SHAPES = (
 #: link flap is a no-op when all ranks share one node's NVLink).
 NETWORK_SHAPES = ("transient_overlap",)
 
+#: Storage-corruption shapes: opt-in (``include_storage=True``) so the
+#: seeded round-robin draw order of existing shape sets is unchanged.
+STORAGE_SHAPES = ("torn_write", "bit_rot")
+
 
 @dataclass(frozen=True)
 class FailurePoint:
@@ -68,6 +72,9 @@ class FailurePoint:
 
     def resolve_target(self, job) -> str:
         """Concrete hardware target for this point against a live job."""
+        if self.type.is_storage:
+            # Path fragment selecting the victim rank's checkpoint objects.
+            return f"rank{self.target_rank % len(job.contexts)}"
         ctx = job.contexts[self.target_rank % len(job.contexts)]
         if self.type in (FailureType.NODE_CRASH,
                          FailureType.NETWORK_TRANSIENT):
@@ -160,7 +167,8 @@ class ScheduleFuzzer:
     def __init__(self, seed: int, world_size: int = 4,
                  min_iteration: int = 2, max_iteration: int = 9,
                  shapes: Optional[Sequence[str]] = None,
-                 include_network: bool = False):
+                 include_network: bool = False,
+                 include_storage: bool = False):
         if max_iteration <= min_iteration:
             raise ValueError("need max_iteration > min_iteration")
         self.seed = seed
@@ -168,8 +176,11 @@ class ScheduleFuzzer:
         self.min_iteration = min_iteration
         self.max_iteration = max_iteration
         if shapes is None:
-            shapes = SHAPES + (NETWORK_SHAPES if include_network else ())
-        unknown = [s for s in shapes if s not in SHAPES + NETWORK_SHAPES]
+            shapes = (SHAPES
+                      + (NETWORK_SHAPES if include_network else ())
+                      + (STORAGE_SHAPES if include_storage else ()))
+        known = SHAPES + NETWORK_SHAPES + STORAGE_SHAPES
+        unknown = [s for s in shapes if s not in known]
         if unknown:
             raise ValueError(f"unknown shapes {unknown}")
         self.shapes = tuple(shapes)
@@ -251,6 +262,34 @@ class ScheduleFuzzer:
             FailurePoint(second_it, second_type,
                          self._rank(rng, exclude=first_rank),
                          offset=round(rng.uniform(0.0, 1.5), 3)),
+        ]
+
+    def _draw_torn_write(self, rng) -> list[FailurePoint]:
+        """Arm a torn write on one rank's checkpoint path, then fail
+        another rank in the same iteration: the victim's JIT/periodic
+        checkpoint upload tears mid-transfer while replicas survive."""
+        iteration = self._iteration(rng)
+        victim = self._rank(rng)
+        return [
+            FailurePoint(iteration, "TORN_WRITE", victim, offset=0.0),
+            FailurePoint(iteration, rng.choice(GPU_ERRORS),
+                         self._rank(rng, exclude=victim),
+                         offset=round(rng.uniform(0.2, 0.8), 3)),
+        ]
+
+    def _draw_bit_rot(self, rng) -> list[FailurePoint]:
+        """Rot one rank's newest at-rest checkpoint, then fail another
+        rank one iteration later: resume must detect the corruption and
+        fall back to a valid replica instead of restoring garbage."""
+        iteration = self._iteration(rng)
+        victim = self._rank(rng)
+        return [
+            FailurePoint(iteration, "BIT_ROT", victim,
+                         offset=round(rng.uniform(0.0, 0.5), 3)),
+            FailurePoint(min(iteration + 1, self.max_iteration),
+                         rng.choice(("GPU_HARD", "GPU_STICKY")),
+                         self._rank(rng, exclude=victim),
+                         offset=round(rng.uniform(0.0, 1.0), 3)),
         ]
 
     def _draw_transient_overlap(self, rng) -> list[FailurePoint]:

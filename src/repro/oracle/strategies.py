@@ -68,6 +68,14 @@ class StrategyRun:
     gc_violations: list = field(default_factory=list)
     #: Simulator events the run dispatched (perf telemetry).
     events: int = 0
+    #: The shared checkpoint store (quarantine invariant evidence).
+    store: Optional[object] = None
+    #: Gemini's buddy-RAM store, when the strategy uses one.
+    ram: Optional[object] = None
+    #: Validator-approved-corruption observations: an independent
+    #: (pristine) re-verification disagreed with the run's validator at a
+    #: resume/read decision point.  Feeds ``resume_target_validates``.
+    resume_audits: list = field(default_factory=list)
 
 
 def spec_variant(spec: WorkloadSpec, strategy: str) -> WorkloadSpec:
@@ -125,11 +133,97 @@ def _skip_rng_rewind(system, job) -> None:
         proxy.replay = replay
 
 
-#: name -> callable(system, job), applied after the job is built.  Only
-#: the transparent family supports mutations (they patch device proxies).
+def _skip_validation(target, job=None) -> None:
+    """Break integrity checking: the validator approves everything.
+
+    Patches the run's validator *instance* (the hook tests are told to
+    break), so corrupt checkpoints sail through quarantine and resume
+    planning.  The oracle must still catch this — its
+    ``resume_target_validates`` audit re-verifies every decision with the
+    pristine module-level ``verify_payload``.
+    """
+    from repro.storage.validate import ValidationResult
+
+    registry = getattr(target, "registry", None)
+    if registry is None:
+        coordinator = getattr(target, "coordinator", None)
+        registry = getattr(coordinator, "registry", None)
+    if registry is not None:
+        registry.validator.verify = (
+            lambda payload, manifest, path="?": ValidationResult(path, True))
+    ram = getattr(target, "ram", None)
+    if ram is not None:
+        ram.get_validated = ram.get
+
+
+#: name -> callable(target, job), applied after the system/runner is
+#: built.  ``target`` is the transparent-family system or the managed
+#: runner; ``job`` is only available for the transparent family.
 MUTATIONS: dict[str, Callable] = {
     "skip_rng_rewind": _skip_rng_rewind,
+    "skip_validation": _skip_validation,
 }
+
+#: Strategies each mutation can be applied to.
+MUTATION_FAMILIES: dict[str, tuple[str, ...]] = {
+    "skip_rng_rewind": TRANSPARENT_FAMILY,
+    "skip_validation": STRATEGIES,
+}
+
+
+def _audit_validator(validator, audits: list) -> None:
+    """Independently re-verify every validator decision.
+
+    Wraps ``validate_at_rest``/``verify_read`` (after any mutation has
+    been applied) and recomputes each verdict with the pristine
+    module-level :func:`~repro.storage.validate.verify_payload`.  A
+    decision the run's validator approved but the pristine check rejects
+    is recorded — that is how a deliberately broken validator is caught
+    even though it controls the run's own quarantine path.
+    """
+    from repro.storage.validate import verify_payload
+
+    orig_at_rest = validator.validate_at_rest
+    orig_read = validator.verify_read
+
+    def validate_at_rest(data_path, meta_path):
+        result = orig_at_rest(data_path, meta_path)
+        obj = validator.store.stat(data_path)
+        payload = obj.peek() if obj is not None and obj.complete else None
+        pristine = verify_payload(payload, validator.manifest_at(meta_path),
+                                  path=data_path)
+        if result.ok and not pristine.ok:
+            audits.append(f"validator approved corrupt checkpoint "
+                          f"{data_path}: {pristine.detail}")
+        return result
+
+    def verify_read(payload, meta_path, data_path):
+        result = orig_read(payload, meta_path, data_path)
+        pristine = verify_payload(payload, validator.manifest_at(meta_path),
+                                  path=data_path)
+        if result.ok and not pristine.ok:
+            audits.append(f"validator approved corrupt read of "
+                          f"{data_path}: {pristine.detail}")
+        return result
+
+    validator.validate_at_rest = validate_at_rest
+    validator.verify_read = verify_read
+
+
+def _audit_ram(ram, audits: list) -> None:
+    """Same pristine re-check for Gemini's buddy-RAM slots."""
+    from repro.storage.manifest import value_digest
+
+    current = ram.get_validated
+
+    def get_validated(node_name, key):
+        entry = current(node_name, key)
+        if (entry is not None and entry.digest
+                and value_digest(entry.state) != entry.digest):
+            audits.append(f"buddy-RAM served corrupt entry {node_name}/{key}")
+        return entry
+
+    ram.get_validated = get_validated
 
 
 # -- transparent family ---------------------------------------------------------------
@@ -145,6 +239,7 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
     system = cls(env, spec, store=store, config=JitConfig(), tracer=tracer)
     job = system.build_job()
     injector = FailureInjector(env, job.cluster, tracer=tracer)
+    injector.attach_store(store)
     minibatch = spec.minibatch_time
     for point in schedule.points:
         injector.arm_at_iteration(point.to_event(0.0, job, minibatch),
@@ -155,7 +250,8 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
     run = StrategyRun(strategy=strategy, losses=[], outcome="ok",
                       rework_bound=rework_bound(strategy, schedule),
                       telemetry=system.telemetry, tracer=tracer,
-                      proxies=list(system.proxies))
+                      proxies=list(system.proxies), store=store)
+    _audit_validator(system.coordinator.registry.validator, run.resume_audits)
     try:
         losses = system.run_training(job, iterations)
     except RuntimeError as exc:
@@ -204,17 +300,23 @@ def _build_managed_runner(strategy: str, env, spec, store, iterations,
 
 
 def _guard_garbage_collect(registry, gc_violations: list) -> None:
-    """Wrap the registry's GC so deleting the live restore point is caught."""
+    """Wrap the registry's GC so deleting the live restore point is caught.
+
+    "Live" is validator-aware: under corruption the protected point is
+    the newest iteration every shard can restore *with integrity*, and
+    after GC every shard must still hold a valid checkpoint there.
+    """
     original = registry.garbage_collect
 
-    def guarded(shard_ids, keep_iterations: int = 2):
-        live = registry.latest_consistent_iteration(shard_ids)
-        removed = original(shard_ids, keep_iterations=keep_iterations)
+    def guarded(shard_ids, keep_iterations: int = 2, retention=None):
+        live = registry.latest_valid_consistent_iteration(shard_ids)
+        removed = original(shard_ids, keep_iterations=keep_iterations,
+                           retention=retention)
         if live is not None:
             for shard_id in set(shard_ids):
-                if registry.checkpoint_at(shard_id, live) is None:
+                if registry.valid_checkpoint_at(shard_id, live) is None:
                     gc_violations.append(
-                        f"garbage_collect deleted the live checkpoint "
+                        f"garbage_collect deleted the live valid checkpoint "
                         f"(iteration {live}, shard {shard_id})")
         return removed
 
@@ -282,24 +384,29 @@ def _arm_managed(env, runner, injector, spec, schedule: FailureSchedule):
 def _run_managed(strategy: str, spec: WorkloadSpec,
                  schedule: FailureSchedule, iterations: int,
                  mutations: Sequence[str]) -> StrategyRun:
-    if mutations:
-        raise ValueError(
-            f"mutations {list(mutations)} target device proxies; strategy "
-            f"{strategy!r} has none (use a transparent-family strategy)")
     env = Environment()
     tracer = Tracer()
     store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
     runner = _build_managed_runner(strategy, env, spec, store, iterations,
                                    tracer)
+    for name in mutations:
+        MUTATIONS[name](runner)
     run = StrategyRun(strategy=strategy, losses=[], outcome="ok",
                       rework_bound=rework_bound(strategy, schedule),
                       telemetry=getattr(runner, "telemetry", None),
-                      tracer=tracer)
+                      tracer=tracer, store=store,
+                      ram=getattr(runner, "ram", None))
     registry = getattr(runner, "registry", None)
     if registry is not None:
         _guard_garbage_collect(registry, run.gc_violations)
+        _audit_validator(registry.validator, run.resume_audits)
+    if run.ram is not None:
+        _audit_ram(run.ram, run.resume_audits)
     _record_resume_points(runner, run.resume_points)
     injector = FailureInjector(env, runner.manager.cluster, tracer=tracer)
+    injector.attach_store(store)
+    if run.ram is not None:
+        injector.attach_store(run.ram)
     _arm_managed(env, runner, injector, spec, schedule)
     report = runner.execute()
     run.losses = list(report.final_losses)
@@ -327,6 +434,11 @@ def run_strategy(strategy: str, spec: WorkloadSpec,
     if unknown:
         raise ValueError(f"unknown mutations {unknown}; "
                          f"choose from {sorted(MUTATIONS)}")
+    for name in mutations:
+        if strategy not in MUTATION_FAMILIES[name]:
+            raise ValueError(
+                f"mutation {name!r} does not apply to strategy {strategy!r} "
+                f"(families: {MUTATION_FAMILIES[name]})")
     variant = spec_variant(spec, strategy)
     if strategy in TRANSPARENT_FAMILY:
         return _run_transparent_family(strategy, variant, schedule,

@@ -10,22 +10,55 @@ class StoredObject:
     """One blob in a store.
 
     ``complete`` flips true only when the writing process survives the full
-    transfer; a writer killed mid-write leaves ``complete=False``, which is
-    how checkpoint-assembly code detects and discards torn checkpoints.
+    transfer; a writer killed mid-write leaves a *partial* object — the
+    payload is never installed, ``written_bytes`` records how far the
+    transfer got, and reads fail.  This models real torn writes: a partial
+    object can be *seen* (``stat``) but never *read*, so a mid-write kill
+    can never yield a readable-but-wrong checkpoint.
     """
+
+    __slots__ = ("path", "_payload", "nbytes", "complete", "created_at",
+                 "written_bytes", "rotted")
 
     def __init__(self, path: str, payload: Any, nbytes: int):
         self.path = path
-        self._payload = payload
+        self._payload = None
         self.nbytes = int(nbytes)
         self.complete = False
         self.created_at: Optional[float] = None
+        #: Bytes that made it to the medium; < nbytes for torn writes.
+        self.written_bytes = 0
+        #: Debug marker: a bit-rot injection touched this payload.  Real
+        #: systems have no such flag — nothing in the read/validate path
+        #: may consult it; only tests and the tracer do.
+        self.rotted = False
+        if payload is not None:
+            self.install(payload)
+
+    def install(self, payload: Any) -> None:
+        """Publish the payload (write completed)."""
+        self._payload = payload
+        self.complete = True
+        self.written_bytes = self.nbytes
 
     @property
     def payload(self) -> Any:
-        """A defensive deep copy; readers must not alias store internals."""
+        """A defensive deep copy; readers must not alias store internals.
+
+        Partial objects have no readable payload (``None``): the bytes on
+        the medium are torn and must never deserialise into a checkpoint.
+        """
+        if not self.complete:
+            return None
         return copy.deepcopy(self._payload)
 
+    def peek(self) -> Any:
+        """The raw stored payload, no copy — integrity checks only."""
+        if not self.complete:
+            return None
+        return self._payload
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "complete" if self.complete else "partial"
+        state = "complete" if self.complete else (
+            f"partial({self.written_bytes}/{self.nbytes}B)")
         return f"<StoredObject {self.path} {self.nbytes}B {state}>"

@@ -1,0 +1,135 @@
+"""Checkpoint validation and quarantine.
+
+The validator is the read-side half of the manifest protocol
+(:mod:`repro.storage.manifest`): it recomputes entry digests over a
+checkpoint's payload and compares them against the published manifest.
+Any mismatch — rotted payload, rotted manifest, missing data — condemns
+the checkpoint: it is moved to the store's append-only ``quarantine/``
+namespace so restarts never trip over it again and the corruption is
+preserved for forensics.
+
+Two validation flavours:
+
+* :meth:`CheckpointValidator.validate_at_rest` — instantaneous digest
+  check against the stored object (models metadata-scale verification at
+  resume-*planning* time, where strategies pick a restore point);
+* :meth:`CheckpointValidator.verify_read` — applied to a payload already
+  paid for by a timed read (the belt-and-braces check restore performs).
+
+``verify_payload`` is a module-level pure function so oracle audits can
+re-verify decisions independently of a (possibly deliberately broken)
+validator instance — the mutation-testing hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.storage.manifest import Manifest, entry_digests
+from repro.storage.stores import _BaseStore
+
+
+class CorruptCheckpointError(RuntimeError):
+    """A checkpoint failed manifest validation (quarantined)."""
+
+    def __init__(self, path: str, detail: str):
+        super().__init__(f"corrupt checkpoint {path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of checking one checkpoint against its manifest."""
+
+    path: str
+    ok: bool
+    #: Entry names whose digests mismatched (empty when the failure is
+    #: structural: missing data, missing/rotted manifest).
+    bad_entries: tuple[str, ...] = ()
+    detail: str = ""
+
+
+def verify_payload(payload: Any, manifest: Optional[Manifest],
+                   path: str = "?") -> ValidationResult:
+    """Pure manifest-vs-payload check; no store access, no quarantine."""
+    if manifest is None:
+        return ValidationResult(path, False, detail="no manifest")
+    if not manifest.intact:
+        return ValidationResult(path, False,
+                                detail="manifest failed its self-digest")
+    if not isinstance(payload, Mapping):
+        payload = {"__payload__": payload}
+    got = entry_digests(payload)
+    if got == manifest.entries:
+        return ValidationResult(path, True)
+    bad = sorted(set(manifest.entries) ^ set(got)
+                 | {k for k in manifest.entries
+                    if got.get(k, manifest.entries[k]) != manifest.entries[k]})
+    return ValidationResult(path, False, bad_entries=tuple(bad),
+                            detail=f"digest mismatch: {', '.join(bad)}")
+
+
+@dataclass
+class QuarantineRecord:
+    """One condemned checkpoint (kept for reporting/invariants)."""
+
+    data_path: str
+    quarantine_path: Optional[str]
+    detail: str
+    time: float
+
+
+class CheckpointValidator:
+    """Manifest checks plus quarantine bookkeeping for one store."""
+
+    def __init__(self, store: _BaseStore):
+        self.store = store
+        self.quarantined: list[QuarantineRecord] = []
+        self.checks = 0
+
+    # -- checks ---------------------------------------------------------------
+
+    def verify(self, payload: Any, manifest: Optional[Manifest],
+               path: str = "?") -> ValidationResult:
+        """Instance-level check — the hook mutation tests break."""
+        self.checks += 1
+        return verify_payload(payload, manifest, path=path)
+
+    def manifest_at(self, meta_path: str) -> Optional[Manifest]:
+        obj = self.store.stat(meta_path)
+        if obj is None or not obj.complete:
+            return None
+        return Manifest.from_payload(obj.peek())
+
+    def validate_at_rest(self, data_path: str,
+                         meta_path: str) -> ValidationResult:
+        """Digest check straight against stored objects (untimed).
+
+        Models the metadata-scale verification pass resume planning runs
+        before committing to a restore point.
+        """
+        obj = self.store.stat(data_path)
+        if obj is None or not obj.complete:
+            return ValidationResult(data_path, False, detail="no data object")
+        return self.verify(obj.peek(), self.manifest_at(meta_path),
+                           path=data_path)
+
+    def verify_read(self, payload: Any, meta_path: str,
+                    data_path: str) -> ValidationResult:
+        """Check a payload returned by a timed read."""
+        return self.verify(payload, self.manifest_at(meta_path),
+                           path=data_path)
+
+    # -- quarantine -------------------------------------------------------------
+
+    def condemn(self, data_path: str, meta_path: Optional[str],
+                detail: str) -> None:
+        """Quarantine a checkpoint's data (and manifest) objects."""
+        qpath = self.store.quarantine(data_path)
+        if meta_path is not None:
+            self.store.quarantine(meta_path)
+        self.quarantined.append(QuarantineRecord(
+            data_path=data_path, quarantine_path=qpath, detail=detail,
+            time=self.store.env.now))

@@ -180,6 +180,42 @@ def report_oracle() -> None:
           f"{status}")
 
 
+def report_storage() -> None:
+    """Checkpoint-store corruption grid: torn writes and bit rot at rest."""
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.oracle import STRATEGIES
+    from repro.oracle.schedule import STORAGE_SHAPES
+
+    print("\nCheckpoint-store corruption — torn-write/bit-rot schedules, "
+          "manifest-validated recovery")
+    _rule()
+    campaign = CampaignSpec.oracle_grid(
+        "report-storage", strategies=STRATEGIES, seeds=[7], fuzz_count=2,
+        target_iterations=14, shapes=STORAGE_SHAPES)
+    result = CampaignRunner(workers=1).run(campaign)
+    total_failures = 0
+    storage: dict[str, int] = {}
+    print(f"{'Strategy':<12} {'checks':>7} {'failing':>8} {'torn':>6} "
+          f"{'rotted':>7} {'quarantined':>12}")
+    for outcome in result.outcomes:
+        metrics = outcome.metrics
+        stats = metrics.get("storage", {})
+        total_failures += metrics["failures"]
+        for key, count in stats.items():
+            storage[key] = storage.get(key, 0) + count
+        print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
+              f"{metrics['failures']:>8} {stats.get('writes_torn', 0):>6} "
+              f"{stats.get('bit_rot_injected', 0):>7} "
+              f"{stats.get('quarantined', 0):>12}")
+        for violation in metrics["violations"]:
+            print(f"    {violation}")
+    status = ("every strategy bitwise-exact under corruption"
+              if total_failures == 0 else f"{total_failures} FAILING CHECKS")
+    print(f"\ninjected: {storage.get('writes_torn', 0)} torn writes, "
+          f"{storage.get('bit_rot_injected', 0)} bit-rot flips; "
+          f"{storage.get('quarantined', 0)} objects quarantined — {status}")
+
+
 SECTIONS = {
     "table3": report_table3,
     "table8": report_table8,
@@ -187,6 +223,7 @@ SECTIONS = {
     "recommend": report_recommendation,
     "perf": report_perf,
     "oracle": report_oracle,
+    "storage": report_storage,
 }
 
 

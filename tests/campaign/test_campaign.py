@@ -408,3 +408,35 @@ def test_shm_slot_overflow_falls_back_to_inline_recompute():
     tiny = CampaignRunner(cache=None, workers=2, slot_bytes=64).run(campaign)
     plain = CampaignRunner(cache=None, workers=1).run(campaign)
     assert canonical_json(tiny.aggregate()) == canonical_json(plain.aggregate())
+
+
+def test_oracle_scenario_storage_shapes():
+    from repro.campaign.runner import execute_scenario
+    from repro.campaign.spec import KIND_ORACLE, ORACLE_WORKLOAD, ScenarioSpec
+
+    spec = ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                        strategy="user_level", seed=7, fuzz_count=2,
+                        target_iterations=12,
+                        shapes=("torn_write", "bit_rot"))
+    assert "torn_write,bit_rot" in spec.scenario_id
+    result = execute_scenario(spec)
+    assert result["metrics"]["passed"], result["metrics"]["violations"]
+    storage = result["metrics"]["storage"]
+    assert storage["writes_started"] > 0
+    assert storage["bit_rot_injected"] + storage["writes_torn"] >= 1
+
+    with pytest.raises(ValueError, match="unknown oracle shapes"):
+        ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                     strategy="user_level", fuzz_count=1,
+                     shapes=("disk_on_fire",))
+
+
+def test_oracle_scenario_include_storage_changes_hash():
+    from repro.campaign.spec import KIND_ORACLE, ORACLE_WORKLOAD, ScenarioSpec
+
+    base = ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                        strategy="periodic", fuzz_count=2)
+    storage = ScenarioSpec(kind=KIND_ORACLE, workload=ORACLE_WORKLOAD,
+                           strategy="periodic", fuzz_count=2,
+                           include_storage=True)
+    assert base.content_hash() != storage.content_hash()

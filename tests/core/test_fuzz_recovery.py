@@ -160,3 +160,33 @@ def test_campaigns_are_deterministic_per_seed():
                  for g in report.generations])
 
     assert run() == run()
+
+
+@given(seed=st.integers(0, 10_000),
+       shape=st.sampled_from(["torn_write", "bit_rot"]))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_transparent_recovery_exact_under_fuzzed_corruption(seed, shape):
+    """Storage-corruption schedules: a torn checkpoint write or silent
+    bit rot paired with a process failure.  The validator must reject the
+    damaged object, restore from a surviving replica, and reproduce the
+    failure-free stream bitwise."""
+    from repro.oracle import ScheduleFuzzer
+
+    schedule = ScheduleFuzzer(seed, world_size=4, min_iteration=2,
+                              max_iteration=ITERS - 3,
+                              include_storage=True).draw(shape=shape)
+    assert any(p.type.is_storage for p in schedule.points)
+    env = Environment()
+    store = SharedObjectStore(env, bandwidth=1.5e9)
+    system = TransparentJitSystem(env, _SPEC, store=store, config=JitConfig())
+    job = system.build_job()
+    injector = FailureInjector(env, job.cluster)
+    injector.attach_store(store)
+    for point in schedule.points:
+        injector.arm_at_iteration(
+            point.to_event(0.0, job, _SPEC.minibatch_time), job.engines,
+            point.iteration, offset=point.offset * _SPEC.minibatch_time)
+    losses = system.run_training(job, ITERS)
+    assert losses == _BASELINE, schedule.describe()
+    assert not store.quarantine_violations

@@ -202,7 +202,7 @@ def test_gc_guard_catches_live_checkpoint_deletion():
     env = Environment()
     registry = _registry_with_checkpoints(env)
 
-    def overzealous_gc(shard_ids, keep_iterations=2):
+    def overzealous_gc(shard_ids, keep_iterations=2, retention=None):
         # A broken collector that wipes every checkpoint object.
         for path in list(registry.store.list("job0/ckpt/")):
             registry.store.delete(path)
@@ -213,7 +213,7 @@ def test_gc_guard_catches_live_checkpoint_deletion():
     _guard_garbage_collect(registry, violations)
     registry.garbage_collect(["shard0", "shard1"])
     assert len(violations) == 2  # both shards lost the live iteration
-    assert all("live checkpoint" in v for v in violations)
+    assert all("live valid checkpoint" in v for v in violations)
 
     run = make_run(gc_violations=violations)
     found = check_gc_live_checkpoint(run)

@@ -1,0 +1,224 @@
+"""Storage-corruption oracle tests: grid, invariants, mutation detection.
+
+Three layers:
+
+* the *corruption grid* — torn-write and bit-rot schedules across all six
+  strategies must stay bitwise exact (recovery falls back to a validated
+  checkpoint and replays);
+* the new invariants (``resume_target_validates``,
+  ``quarantine_append_only``) checked directly against stub runs;
+* the mutation proof — a deliberately broken validator
+  (``skip_validation``) must be caught by the oracle, the storage
+  counterpart of the ``skip_rng_rewind`` detection test.
+
+The seeded corruption-schedule fuzz sweeps are marked ``fuzz``.
+"""
+
+import pytest
+
+from repro.failures import FailureType
+from repro.oracle import (FailurePoint, FailureSchedule, RecoveryOracle,
+                          STRATEGIES)
+from repro.oracle.invariants import (check_quarantine_append_only,
+                                     check_resume_target_validates)
+from repro.oracle.schedule import STORAGE_SHAPES, ScheduleFuzzer
+from repro.oracle.strategies import (MUTATION_FAMILIES, MUTATIONS,
+                                     run_strategy, spec_variant)
+
+ITERS = 12
+
+#: Bit rot lands on rank0's newest checkpoint; the next failure forces a
+#: resume that must reject it and fall back to a validated iteration.
+ROT = FailureSchedule(points=(
+    FailurePoint(7, "BIT_ROT", 0, offset=0.2),
+    FailurePoint(8, "GPU_HARD", 1, offset=0.5)), shape="manual")
+
+#: Rank0's next checkpoint write tears mid-transfer while rank1 dies.
+TORN = FailureSchedule(points=(
+    FailurePoint(6, "TORN_WRITE", 0, offset=0.0),
+    FailurePoint(6, "GPU_HARD", 1, offset=0.5)), shape="manual")
+
+#: Strategies where ROT's corruption provably reaches the resume decision
+#: (for the others the rotted object is never the consumed restore
+#: source, so a broken validator has nothing to lie about).
+DETECTING = ("transparent", "swift", "user_level", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return RecoveryOracle(iterations=ITERS)
+
+
+@pytest.fixture(scope="module")
+def broken_oracle():
+    return RecoveryOracle(iterations=ITERS, mutations=("skip_validation",))
+
+
+# -- the corruption grid -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bit_rot_grid_exact(oracle, strategy):
+    verdict = oracle.check(ROT, strategy)
+    assert verdict.passed, verdict.describe()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_torn_write_grid_exact(oracle, strategy):
+    verdict = oracle.check(TORN, strategy)
+    assert verdict.passed, verdict.describe()
+
+
+def test_corrupt_newest_checkpoint_is_quarantined_and_bypassed(oracle):
+    """The rotted checkpoint is condemned at plan time and the run still
+    reproduces the golden stream from an older validated iteration."""
+    spec = oracle.spec
+    run = run_strategy("user_level", spec, ROT, ITERS)
+    assert run.outcome == "ok"
+    assert run.store.stats["bit_rot_injected"] == 1
+    assert run.store.stats["quarantined"] >= 1
+    assert run.store.quarantine_log
+    assert not run.store.quarantine_violations
+    assert oracle.check(ROT, "user_level").passed
+
+
+def test_torn_write_actually_tears_and_is_survived(oracle):
+    run = run_strategy("user_level", oracle.spec, TORN, ITERS)
+    assert run.outcome == "ok"
+    assert run.store.stats["writes_torn"] >= 1
+    assert oracle.check(TORN, "user_level").passed
+
+
+# -- fuzzer storage shapes -----------------------------------------------------------
+
+
+def test_storage_shapes_are_opt_in():
+    base = ScheduleFuzzer(7, world_size=4)
+    assert not set(STORAGE_SHAPES) & set(base.shapes)
+    extended = ScheduleFuzzer(7, world_size=4, include_storage=True)
+    assert set(STORAGE_SHAPES) <= set(extended.shapes)
+
+
+@pytest.mark.parametrize("shape", STORAGE_SHAPES)
+def test_fuzzer_draws_storage_schedules(shape):
+    fuzzer = ScheduleFuzzer(11, world_size=4, min_iteration=2,
+                            max_iteration=8, include_storage=True)
+    schedule = fuzzer.draw(shape=shape)
+    kinds = {p.failure_type for p in schedule.points}
+    assert shape.upper() in kinds
+    assert any(not p.type.is_storage for p in schedule.points), \
+        "storage shapes must pair corruption with a process failure"
+
+
+def test_storage_failure_target_resolves_to_rank_fragment(oracle):
+    from repro.workloads import TrainingJob
+
+    point = FailurePoint(3, "BIT_ROT", 1, offset=0.1)
+    assert point.type.is_storage
+    job = TrainingJob(spec_variant(oracle.spec, "periodic"))
+    assert point.resolve_target(job) == "rank1"
+
+
+# -- invariant checkers ---------------------------------------------------------------
+
+
+class _StubStore:
+    def __init__(self, present=(), violations=(), log=()):
+        self._present = set(present)
+        self.quarantine_violations = list(violations)
+        self.quarantine_log = list(log)
+
+    def stat(self, path):
+        return object() if path in self._present else None
+
+
+class _StubRun:
+    def __init__(self, store=None, audits=()):
+        self.store = store
+        self.resume_audits = list(audits)
+
+
+def test_resume_target_validates_surfaces_audits():
+    run = _StubRun(audits=["validator approved corrupt checkpoint x"])
+    violations = check_resume_target_validates(run)
+    assert [v.invariant for v in violations] == ["resume_target_validates"]
+
+
+def test_quarantine_append_only_flags_mutation_and_loss():
+    store = _StubStore(present=("quarantine/a",),
+                       violations=("delete quarantine/a",),
+                       log=("quarantine/a", "quarantine/gone"))
+    violations = check_quarantine_append_only(_StubRun(store=store))
+    details = " | ".join(v.detail for v in violations)
+    assert len(violations) == 2
+    assert "delete quarantine/a" in details
+    assert "quarantine/gone disappeared" in details
+
+
+def test_quarantine_append_only_clean_store_passes():
+    store = _StubStore(present=("quarantine/a",), log=("quarantine/a",))
+    assert check_quarantine_append_only(_StubRun(store=store)) == []
+
+
+# -- broken-validator mutation detection ----------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", DETECTING)
+def test_skip_validation_mutation_is_detected(oracle, broken_oracle,
+                                              strategy):
+    """A validator that rubber-stamps everything must trip the oracle:
+    the independent pristine re-verification flags the approved-corrupt
+    resume target, and the served rot breaks exactness."""
+    verdict = broken_oracle.check(ROT, strategy)
+    assert not verdict.passed
+    kinds = {v.invariant for v in verdict.violations}
+    assert "resume_target_validates" in kinds
+    assert "exactness" in kinds
+    assert oracle.check(ROT, strategy).passed    # clean run: exact
+
+
+def test_atomicity_leaves_broken_validator_nothing_to_approve(broken_oracle):
+    """Torn writes never publish, so even a rubber-stamp validator can't
+    serve a torn checkpoint — atomicity holds independent of validation."""
+    verdict = broken_oracle.check(TORN, "user_level")
+    assert verdict.passed, verdict.describe()
+
+
+def test_mutation_families_enforced():
+    assert set(MUTATIONS) == set(MUTATION_FAMILIES)
+    assert MUTATION_FAMILIES["skip_validation"] == STRATEGIES
+    with pytest.raises(ValueError, match="does not apply"):
+        run_strategy("periodic", RecoveryOracle(iterations=4).spec,
+                     ROT, 4, mutations=("skip_rng_rewind",))
+
+
+# -- seeded corruption-schedule fuzz sweeps (deep; excluded from tier-1) --------------
+
+
+@pytest.mark.fuzz
+def test_fuzzed_storage_sweep_all_strategies():
+    oracle = RecoveryOracle(iterations=14)
+    report = oracle.sweep(seed=7, count=4, shapes=STORAGE_SHAPES)
+    assert report.passed, "\n".join(
+        v.describe() for v in report.failures)
+
+
+@pytest.mark.fuzz
+def test_fuzzed_mixed_sweep_with_storage_shapes():
+    """Storage shapes in the full rotation alongside process failures."""
+    oracle = RecoveryOracle(iterations=14)
+    report = oracle.sweep(seed=23, count=6, include_storage=True,
+                          strategies=("transparent", "user_level",
+                                      "periodic"))
+    assert report.passed, "\n".join(
+        v.describe() for v in report.failures)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_fuzzed_corruption_heavy_seeds(seed):
+    """Fixed-seed corruption-heavy sweeps (the CI matrix family)."""
+    oracle = RecoveryOracle(iterations=14)
+    report = oracle.sweep(seed=seed, count=3, shapes=STORAGE_SHAPES)
+    assert report.passed, "\n".join(
+        v.describe() for v in report.failures)

@@ -1,0 +1,192 @@
+"""Resume planner, retention policy and validator-aware GC tests.
+
+These drive a real :class:`CheckpointRegistry` over a simulated shared
+store: write checkpoints at several iterations, corrupt some at rest,
+and check that planning falls back to the newest iteration that still
+validates, that rejected candidates are quarantined (append-only), and
+that GC can never collect the last valid restore point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoints import CheckpointKey, CheckpointRegistry
+from repro.sim import Environment
+from repro.storage import (QUARANTINE_PREFIX, RetentionPolicy,
+                           SharedObjectStore)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def registry(env):
+    store = SharedObjectStore(env, bandwidth=1e12, latency=0.0)
+    return CheckpointRegistry(store, job_id="job0")
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def write_ckpt(env, registry, iteration, rank=0, shard="full",
+               kind="jit", epoch=None):
+    key = CheckpointKey(kind=kind, epoch=iteration if epoch is None else epoch,
+                        shard_id=shard, rank=rank, iteration=iteration)
+    state = {"weights": np.full(4, float(iteration)), "step": iteration}
+    drive(env, registry.write(key, state, nbytes=64))
+    return key
+
+
+def rot(registry, key):
+    """Silently corrupt a checkpoint's data payload at rest."""
+    stored = registry.store.stat(registry._prefix(key.data_path)).peek()
+    stored["weights"][0] += 1.0
+
+
+# -- planning ----------------------------------------------------------------------
+
+
+def test_plan_picks_newest_valid_iteration(env, registry):
+    for it in (2, 4, 6):
+        write_ckpt(env, registry, it)
+    plan = registry.planner.plan(["full"])
+    assert plan.iteration == 6
+    assert plan.keys["full"].iteration == 6
+    assert plan.rejected == ()
+
+
+def test_plan_falls_back_when_newest_is_corrupt(env, registry):
+    keys = {it: write_ckpt(env, registry, it) for it in (2, 4, 6)}
+    rot(registry, keys[6])
+    plan = registry.planner.plan(["full"])
+    assert plan.iteration == 4
+    assert any("epoch6" in path for path in plan.rejected)
+    # The condemned checkpoint moved to the quarantine namespace.
+    qpaths = registry.store.quarantine_log
+    assert any(p.startswith(QUARANTINE_PREFIX) for p in qpaths)
+    assert registry.store.stats["quarantined"] >= 1
+
+
+def test_plan_prefers_surviving_replica_at_same_iteration(env, registry):
+    """Corruption of one DP replica's copy must not roll the plan back
+    while a sibling replica at the same iteration still validates."""
+    bad = write_ckpt(env, registry, 6, rank=0)
+    write_ckpt(env, registry, 6, rank=1)
+    write_ckpt(env, registry, 4, rank=0)
+    rot(registry, bad)
+    plan = registry.planner.plan(["full"])
+    assert plan.iteration == 6
+    assert plan.keys["full"].rank == 1
+
+
+def test_plan_cold_start_when_everything_is_corrupt(env, registry):
+    for it in (2, 4):
+        rot(registry, write_ckpt(env, registry, it))
+    plan = registry.planner.plan(["full"])
+    assert plan.iteration is None
+    assert plan.keys == {}
+    assert len(plan.rejected) == 2
+
+
+def test_last_known_good_remembers_verified_iteration(env, registry):
+    for it in (2, 4):
+        write_ckpt(env, registry, it)
+    first = registry.planner.plan(["full"])
+    assert first.iteration == 4
+    newest = write_ckpt(env, registry, 6)
+    rot(registry, newest)
+    plan = registry.planner.plan(["full"], policy="last_known_good")
+    assert plan.iteration == 4
+    assert plan.policy == "last_known_good"
+
+
+def test_newest_before_bounds_the_plan(env, registry):
+    for it in (2, 4, 6):
+        write_ckpt(env, registry, it)
+    plan = registry.planner.plan(["full"], policy="newest_before",
+                                 before_iteration=6)
+    assert plan.iteration == 4
+
+
+def test_plan_requires_every_shard(env, registry):
+    write_ckpt(env, registry, 4, shard="shard0")
+    write_ckpt(env, registry, 4, shard="shard1")
+    write_ckpt(env, registry, 6, shard="shard0")   # shard1 lags behind
+    plan = registry.planner.plan(["shard0", "shard1"])
+    assert plan.iteration == 4
+
+
+def test_plan_decisions_are_recorded(env, registry):
+    write_ckpt(env, registry, 2)
+    registry.planner.plan(["full"])
+    registry.planner.plan(["full"], policy="newest_before",
+                          before_iteration=2)
+    policies = [d.policy for d in registry.planner.decisions]
+    assert policies == ["latest_valid", "newest_before"]
+
+
+def test_unknown_policy_rejected(env, registry):
+    with pytest.raises(ValueError):
+        registry.planner.plan(["full"], policy="optimistic")
+
+
+# -- retention ----------------------------------------------------------------------
+
+
+def test_retention_keep_last():
+    policy = RetentionPolicy(keep_last=2)
+    assert policy.kept([2, 4, 6, 8]) == {6, 8}
+
+
+def test_retention_keep_every():
+    policy = RetentionPolicy(keep_last=1, keep_every=4)
+    assert policy.kept([2, 4, 6, 8, 10]) == {4, 8, 10}
+
+
+def test_retention_validates_parameters():
+    with pytest.raises(ValueError):
+        RetentionPolicy(keep_last=0)
+    with pytest.raises(ValueError):
+        RetentionPolicy(keep_every=0)
+
+
+def test_gc_honours_retention_policy(env, registry):
+    for it in (2, 4, 6, 8):
+        write_ckpt(env, registry, it)
+    removed = registry.garbage_collect(
+        ["full"], retention=RetentionPolicy(keep_last=1, keep_every=4))
+    assert removed == 2                      # 2 and 6 go; 4, 8 stay
+    assert registry.iterations_for("full") == {4, 8}
+
+
+def test_gc_never_collects_last_valid_checkpoint(env, registry):
+    """Everything newer than iteration 2 is corrupt: keep-last-1 would
+    blindly keep only corrupt iteration 6 — the validator-aware GC must
+    also retain iteration 2, the last valid restore point."""
+    good = write_ckpt(env, registry, 2)
+    for it in (4, 6):
+        rot(registry, write_ckpt(env, registry, it))
+    registry.garbage_collect(["full"], keep_iterations=1)
+    assert registry.store.exists(registry._prefix(good.data_path))
+    plan = registry.planner.plan(["full"])
+    assert plan.iteration == 2
+
+
+# -- quarantine is append-only -------------------------------------------------------
+
+
+def test_quarantined_objects_resist_mutation(env, registry):
+    key = write_ckpt(env, registry, 6)
+    rot(registry, key)
+    assert registry.planner.plan(["full"]).iteration is None
+    qpath = registry.store.quarantine_log[0]
+    assert registry.store.exists(qpath)
+
+    registry.store.delete(qpath)
+    assert registry.store.exists(qpath)      # delete refused
+    registry.store.rename(qpath, "elsewhere")
+    assert registry.store.exists(qpath)      # rename refused
+    assert len(registry.store.quarantine_violations) == 2

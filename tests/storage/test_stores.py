@@ -154,3 +154,129 @@ def test_delete_and_wipe(env):
     assert store.exists("b")
     store.wipe()
     assert store.list() == []
+
+
+# -- corruption injection: torn writes and bit rot ----------------------------------
+
+
+def test_armed_torn_write_raises_and_never_publishes(env):
+    from repro.storage import TornWriteError
+
+    store = SharedObjectStore(env, bandwidth=1e9, latency=0.0)
+    store.arm_torn_write("ckpt")
+
+    def writer():
+        yield from store.write("ckpt/rank0", {"x": 1}, nbytes=2e9)
+
+    with pytest.raises(TornWriteError):
+        drive(env, writer())
+    assert not store.exists("ckpt/rank0")
+    partial = store.stat("ckpt/rank0")
+    assert partial is not None and not partial.complete
+    assert partial.payload is None               # unreadable, never wrong
+    assert 0 < partial.written_bytes < 2e9       # genuinely mid-transfer
+    assert store.stats["writes_torn"] == 1
+
+
+def test_torn_write_trap_is_one_shot(env):
+    from repro.storage import TornWriteError
+
+    store = SharedObjectStore(env, bandwidth=1e12)
+    store.arm_torn_write("a")
+
+    def writer(path):
+        yield from store.write(path, {"x": 1}, nbytes=10)
+
+    with pytest.raises(TornWriteError):
+        drive(env, writer("a/data"))
+    drive(env, writer("a/data"))                 # retry succeeds
+    assert store.exists("a/data")
+
+
+def test_mid_write_kill_through_registry_never_readable_wrong(env):
+    """Regression for the _BaseStore.write torn-write hole: killing the
+    writer mid-transfer (the JIT failure model) must leave the final
+    checkpoint path unpublished and the partial unreadable — a reader can
+    never observe a half-written checkpoint as if it were whole."""
+    import numpy as np
+
+    from repro.core.checkpoints import CheckpointKey, CheckpointRegistry
+
+    store = SharedObjectStore(env, bandwidth=1e9, latency=0.0)
+    registry = CheckpointRegistry(store, job_id="job0")
+    key = CheckpointKey(kind="jit", epoch=1, shard_id="full", rank=0,
+                        iteration=5)
+    state = {"weights": np.arange(4.0)}
+
+    proc = env.process(registry.write(key, state, nbytes=4e9))  # 4 seconds
+
+    def killer():
+        yield env.timeout(1.5)
+        proc.kill()
+
+    env.process(killer())
+    env.run()
+    data = registry._prefix(key.data_path)
+    assert not store.exists(data)                       # never published
+    assert not store.exists(registry._prefix(key.meta_path))
+    assert store.stat(data + ".part").payload is None   # partial unreadable
+    assert registry._all_keys("full") == []             # not discoverable
+    assert registry.planner.plan(["full"]).iteration is None
+
+
+def test_bit_rot_corrupts_newest_complete_data_object(env):
+    store = SharedObjectStore(env, bandwidth=1e12)
+
+    def writer(path, payload):
+        yield from store.write(path, payload, nbytes=10)
+
+    drive(env, writer("ckpt/epoch1/rank0/data", {"w": np.zeros(2)}))
+    drive(env, writer("ckpt/epoch1/rank0/meta", {"iteration": 1}))
+    drive(env, writer("ckpt/epoch2/rank0/data", {"w": np.zeros(2)}))
+    drive(env, writer("ckpt/epoch2/rank0/meta", {"iteration": 2}))
+    assert store.inject_bit_rot("rank0", salt=1)
+    assert store.stat("ckpt/epoch2/rank0/data").rotted
+    assert not store.stat("ckpt/epoch1/rank0/data").rotted
+    assert not store.stat("ckpt/epoch2/rank0/meta").rotted  # data preferred
+    assert store.stats["bit_rot_injected"] == 1
+
+
+def test_bit_rot_with_no_match_arms_rot_on_next_write(env):
+    from repro.storage import value_digest
+
+    store = SharedObjectStore(env, bandwidth=1e12)
+    assert not store.inject_bit_rot("rank3", salt=1)   # nothing at rest yet
+    clean = {"w": np.arange(4.0)}
+    digest = value_digest(clean)
+
+    def writer():
+        yield from store.write("ckpt/rank3/data", clean, nbytes=10)
+
+    drive(env, writer())
+    stored = store.stat("ckpt/rank3/data").peek()
+    assert value_digest(stored) != digest              # rotted on landing
+    np.testing.assert_array_equal(clean["w"], np.arange(4.0))  # caller's copy safe
+
+
+def test_bit_rot_never_touches_quarantine_or_criu(env):
+    store = SharedObjectStore(env, bandwidth=1e12)
+
+    def writer(path):
+        yield from store.write(path, {"w": np.zeros(2)}, nbytes=10)
+
+    drive(env, writer("node0/criu/rank0/data"))
+    drive(env, writer("old/rank0/data"))
+    store.quarantine("old/rank0/data")
+    assert not store.inject_bit_rot("rank0", salt=1)
+    assert store.stats["bit_rot_injected"] == 0
+
+
+def test_match_fragment_semantics():
+    from repro.storage import match_fragment
+
+    assert match_fragment("job0/ckpt/epoch1/rank0/data", "rank0")
+    assert match_fragment("gpu/ckpt/gen1/full/rank2.part", "rank2")
+    assert match_fragment("gpu/ckpt/gen1/full/rank2.manifest", "rank2")
+    assert match_fragment("job0/ckpt/rank1", "rank1")
+    assert not match_fragment("job0/ckpt/rank10/data", "rank1")
+    assert not match_fragment("job0/ckpt/rank0/data", "rank1")
