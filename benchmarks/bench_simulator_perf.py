@@ -43,6 +43,30 @@ def run_ddp_training(iterations: int = 10) -> Environment:
     return job.env
 
 
+def run_traced_ddp_training(iterations: int = 10) -> Environment:
+    """The DDP scenario with full observability on: enabled tracer
+    (iteration spans, macro-chain records, storage events) on top of the
+    macro-event fast path.  The gap to ``run_ddp_training`` is the trace
+    overhead ``docs/performance.md`` quotes; the obs-disabled DDP bench
+    itself must not move (CI's perf-smoke job runs once with
+    ``REPRO_OBS=0`` to prove it).
+    """
+    from repro.obs import flags as obs
+    from repro.sim import Tracer
+
+    spec = WorkloadSpec(name="PERFTRACE", model="GPT2-S", node_spec=V100_NODE,
+                        num_nodes=1, layout=ParallelLayout(dp=4),
+                        engine="ddp", framework="bench",
+                        minibatch_time=0.05)
+    tracer = Tracer(enabled=True)
+    job = TrainingJob(spec, tracer=tracer)
+    losses = job.run_training(iterations)
+    assert len(losses[0]) == iterations
+    if obs.enabled():    # REPRO_OBS=0 runs measure the disabled fast path
+        assert tracer.spans, "observability on: iteration spans expected"
+    return job.env
+
+
 def run_3d_training(iterations: int = 6) -> Environment:
     """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
     spec = WorkloadSpec(name="PERF3D", model="GPT2-S", node_spec=V100_NODE,
@@ -116,6 +140,7 @@ def run_checkpoint_store(epochs: int = 40, ranks: int = 4) -> Environment:
 PERF_SCENARIOS = {
     "bench_event_loop_throughput": run_event_loop,
     "bench_ddp_training_throughput": run_ddp_training,
+    "bench_trace_overhead_throughput": run_traced_ddp_training,
     "bench_3d_training_throughput": run_3d_training,
     "bench_fsdp_training_throughput": run_fsdp_training,
     "bench_checkpoint_store_throughput": run_checkpoint_store,
@@ -131,6 +156,12 @@ def bench_event_loop_throughput(benchmark):
 def bench_ddp_training_throughput(benchmark):
     """Full stack: 4-rank DDP, 10 iterations (~15k sim events)."""
     env = benchmark(run_ddp_training)
+    assert env.events_processed > 0
+
+
+def bench_trace_overhead_throughput(benchmark):
+    """DDP with the tracer enabled: spans + macro-chain trace records."""
+    env = benchmark(run_traced_ddp_training)
     assert env.events_processed > 0
 
 

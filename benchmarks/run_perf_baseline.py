@@ -54,6 +54,9 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 BENCH_THRESHOLDS = {
     "bench_event_loop_throughput": 0.20,
     "bench_ddp_training_throughput": 0.30,
+    # Same workload as the DDP bench plus live span/trace recording; the
+    # extra python-level work makes wall clock a bit noisier still.
+    "bench_trace_overhead_throughput": 0.30,
     "bench_3d_training_throughput": 0.30,
     "bench_fsdp_training_throughput": 0.30,
     # Dominated by real sha256 digesting of payloads (manifest writes and

@@ -230,6 +230,13 @@ def _execute_oracle_scenario(spec: ScenarioSpec) -> dict:
     events = oracle.events_processed
     wall = time.perf_counter() - start
     failures = [v for v in verdicts if not v.passed]
+    # Goodput-bucket seconds summed across all checked runs.  Ledgers are
+    # deterministic functions of the (scenario, strategy) pair, so these
+    # aggregate byte-identically between serial and parallel campaigns.
+    goodput = {bucket: float(amount)
+               for bucket, amount in oracle.goodput_buckets.items()}
+    goodput["balanced"] = all(v.ledger is None or v.ledger.balanced
+                              for v in verdicts)
     return {
         "scenario": spec.config(),
         "scenario_id": spec.scenario_id,
@@ -243,6 +250,7 @@ def _execute_oracle_scenario(spec: ScenarioSpec) -> dict:
                            for violation in v.violations],
             "failing_schedules": [v.schedule.to_json() for v in failures],
             "storage": dict(oracle.storage_stats),
+            "goodput": goodput,
         },
         "perf": {
             "events": events,

@@ -112,6 +112,7 @@ class DeviceProxyApi(DeviceApi):
             self._rng_set(snapshot)
 
     def minibatch_begin(self, iteration: int) -> None:
+        super().minibatch_begin(iteration)   # observability iteration span
         self.current_minibatch = iteration
         self.log.begin_minibatch(iteration)
         if self._rng_get is not None:
@@ -120,6 +121,7 @@ class DeviceProxyApi(DeviceApi):
         self.phase = Phase.FORWARD_BACKWARD
 
     def minibatch_end(self, iteration: int) -> None:
+        super().minibatch_end(iteration)
         self.phase = Phase.POST_OPTIMIZER
 
     def optimizer_step_begin(self, iteration: int) -> None:

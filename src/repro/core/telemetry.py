@@ -23,6 +23,9 @@ class PhaseSpan:
     name: str
     start: float
     end: Optional[float] = None
+    #: True when the span was force-closed at dump time because the run
+    #: aborted mid-phase (see :meth:`RecoveryRecord.close_open`).
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -47,6 +50,26 @@ class RecoveryRecord:
         if self.finished_at is None:
             raise ValueError("recovery still in progress")
         return self.finished_at - self.detected_at
+
+    def close_open(self, at: float) -> bool:
+        """Close still-open phases (and the record) at *at*.
+
+        A run that dies mid-recovery leaves the episode open; reports and
+        the goodput ledger close it at dump time with an ``aborted=True``
+        note instead of crashing on ``duration``/``recovery_time``.
+        Returns True when anything was closed.
+        """
+        closed = False
+        for span in self.phases:
+            if span.end is None:
+                span.end = max(at, span.start)
+                span.aborted = True
+                closed = True
+        if self.finished_at is None:
+            self.finished_at = max(at, self.detected_at)
+            self.notes["aborted"] = True
+            closed = True
+        return closed
 
     def phase_duration(self, name: str) -> float:
         return sum(span.duration for span in self.phases if span.name == name)
@@ -136,6 +159,15 @@ class RecoveryTelemetry:
 
     def finish(self, record: RecoveryRecord) -> None:
         record.finished_at = self.env.now
+
+    def close_open(self, at: Optional[float] = None) -> int:
+        """Close every still-open record/phase with ``aborted`` marks.
+
+        Dump-time repair for runs that ended mid-recovery; returns the
+        number of records touched.
+        """
+        when = self.env.now if at is None else at
+        return sum(1 for record in self.records if record.close_open(when))
 
     # -- aggregation ----------------------------------------------------------------
 

@@ -346,6 +346,12 @@ class CudaStream:
             # The next op was in flight when the GPU failed; it started but
             # never finishes, as in the one-event-per-op path.
             chain[count].started_at = previous_end
+        if trace and count > 1:
+            # One chain-level record so traces of coalesced runs show the
+            # macro event itself (and its per-op credit) alongside the
+            # back-filled op_done records above.
+            self.tracer.record(previous_end, self.name, "macro_chain",
+                               ops=count, started=start)
         if elided:
             env.credit_events(elided)
 
@@ -408,7 +414,7 @@ class CudaStream:
             kind = type(op)
 
             if ((kind is KernelOp or (kind is MemcpyOp and op.pcie is None))
-                    and fastpath.enabled() and not self.tracer.enabled):
+                    and fastpath.enabled()):
                 if not self._gpu_ok():
                     yield from self._park()
                 chain = self._collect_chain()

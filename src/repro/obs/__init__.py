@@ -1,0 +1,43 @@
+"""Unified observability: goodput ledger, trace export, flight recorder.
+
+``repro.obs`` turns the fragments the stack already records — recovery
+phase marks (`repro.core.telemetry`), trace events (`repro.sim.trace`),
+generation boundaries (`repro.cluster`) — into three first-class
+diagnostics:
+
+* :mod:`repro.obs.ledger` — the GoodPut/BadPut ledger: every simulated
+  second of every rank classified into productive / detection / rework /
+  restart / idle, with a bitwise accounting identity;
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON export (Perfetto);
+* :mod:`repro.obs.flight` — bounded flight-recorder ring + failing-vs-
+  golden timeline diff, dumped by the oracle on invariant failures.
+
+Instrumentation hooks are gated on :func:`enabled` (process-global,
+``REPRO_OBS=0`` to disable) *and* the run's tracer being enabled, so
+untraced runs pay nothing.
+"""
+
+from repro.obs.flags import enabled, observability, set_enabled
+from repro.obs.ledger import (BUCKETS, GoodputLedger, build_strategy_ledger,
+                              merge_buckets)
+from repro.obs.chrome import (chrome_trace, chrome_trace_events,
+                              write_chrome_trace)
+from repro.obs.flight import (DEFAULT_CAPACITY, FlightRecorder, flight_dump,
+                              timeline_diff)
+
+__all__ = [
+    "BUCKETS",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "GoodputLedger",
+    "build_strategy_ledger",
+    "chrome_trace",
+    "chrome_trace_events",
+    "enabled",
+    "flight_dump",
+    "merge_buckets",
+    "observability",
+    "set_enabled",
+    "timeline_diff",
+    "write_chrome_trace",
+]

@@ -1,0 +1,43 @@
+"""Global switch for the observability layer.
+
+``repro.obs`` instruments the stack with iteration spans, storage-commit
+records and macro-chain trace events.  All of it is *opt-in twice*: a
+record is only taken when this process-global flag is on **and** the
+run's :class:`~repro.sim.trace.Tracer` is enabled, so a production
+campaign with tracing off pays nothing — no per-event allocation, one
+boolean check on the (cold) per-iteration hooks.
+
+The switch is process-global rather than per-environment so campaign
+worker processes inherit it from ``REPRO_OBS`` without plumbing.  Set
+``REPRO_OBS=0`` to disable every instrumentation hook at once.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = os.environ.get("REPRO_OBS", "1").lower() not in (
+    "0", "false", "off", "no")
+
+
+def enabled() -> bool:
+    """Is the observability layer currently active?"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def observability(value: bool):
+    """Temporarily force observability on or off (overhead tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,0 +1,106 @@
+"""Flight recorder: bounded ring of recent trace records, dumped on failure.
+
+When an oracle invariant trips, the verdict alone ("losses diverge at
+iteration 11") rarely explains *why*.  The flight recorder keeps the last
+N records of a run's timeline — trace events and spans merged in time
+order — and renders them next to the golden run's timeline as a unified
+diff, so a replay reproducer ships with the moment the two runs parted.
+
+The ring is a plain ``collections.deque(maxlen=...)``: capturing a long
+run costs O(len) formatting once, at dump time, never during simulation.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.sim.trace import Tracer
+
+DEFAULT_CAPACITY = 120
+
+
+def _timeline(tracer: Tracer, telemetry: Optional[object] = None) -> list[str]:
+    """One line per record, merged events + spans in time order."""
+    entries: list[tuple[float, int, str]] = []
+    for index, event in enumerate(tracer.events):
+        entries.append((event.time, index, str(event)))
+    base = len(entries)
+    for index, span in enumerate(tracer.spans):
+        entries.append((span.start, base + index, str(span)))
+    if telemetry is not None:
+        base = len(entries)
+        for index, record in enumerate(telemetry.records):
+            finished = ("open" if record.finished_at is None
+                        else f"{record.finished_at:.6f}")
+            entries.append((record.detected_at, base + index,
+                            f"[{record.detected_at:12.6f}] recovery-record"
+                            f"{'' if record.rank is None else f' rank{record.rank}'}"
+                            f" {record.kind} -> {finished}"))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return [line for _, _, line in entries]
+
+
+class FlightRecorder:
+    """Bounded ring buffer over a run's merged timeline."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._ring: deque[str] = deque(maxlen=capacity)
+
+    def extend(self, lines: Iterable[str]) -> None:
+        self._ring.extend(lines)
+
+    def capture(self, tracer: Tracer,
+                telemetry: Optional[object] = None) -> None:
+        """Replace the ring contents with *tracer*'s timeline tail."""
+        self._ring.clear()
+        self._ring.extend(_timeline(tracer, telemetry))
+
+    @property
+    def lines(self) -> list[str]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self, title: str = "flight recorder") -> str:
+        head = f"=== {title} (last {len(self._ring)} records) ==="
+        return "\n".join([head, *self._ring])
+
+
+def timeline_diff(failing: Tracer, golden: Tracer,
+                  failing_telemetry: Optional[object] = None,
+                  golden_telemetry: Optional[object] = None,
+                  capacity: int = DEFAULT_CAPACITY,
+                  context: int = 3) -> str:
+    """Unified diff between a failing run's timeline tail and the golden's.
+
+    Both timelines are windowed to the flight-recorder capacity before
+    diffing, so the output stays bounded no matter how long the run was.
+    """
+    failing_lines = _timeline(failing, failing_telemetry)[-capacity:]
+    golden_lines = _timeline(golden, golden_telemetry)[-capacity:]
+    diff = list(difflib.unified_diff(golden_lines, failing_lines,
+                                     fromfile="golden", tofile="failing",
+                                     n=context, lineterm=""))
+    if not diff:
+        return "(timelines identical within the flight-recorder window)"
+    return "\n".join(diff)
+
+
+def flight_dump(failing: Tracer, golden: Optional[Tracer] = None,
+                failing_telemetry: Optional[object] = None,
+                golden_telemetry: Optional[object] = None,
+                capacity: int = DEFAULT_CAPACITY) -> str:
+    """The full dump the oracle attaches to a failing verdict."""
+    recorder = FlightRecorder(capacity)
+    recorder.capture(failing, failing_telemetry)
+    sections = [recorder.dump("flight recorder: failing run")]
+    if golden is not None:
+        sections.append("=== timeline diff (golden vs failing) ===")
+        sections.append(timeline_diff(failing, golden,
+                                      failing_telemetry, golden_telemetry,
+                                      capacity=capacity))
+    return "\n".join(sections)

@@ -80,6 +80,9 @@ def main(argv=None) -> int:
     if args.command == "replay":
         verdict = oracle.check(schedule, args.strategy)
         print(verdict.describe())
+        if verdict.flight_dump:
+            print()
+            print(verdict.flight_dump)
         return 0 if verdict.passed else 1
 
     result = shrink(oracle, schedule, args.strategy)

@@ -15,11 +15,14 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.hardware.specs import V100_NODE
+from repro.obs import GoodputLedger, build_strategy_ledger, flight_dump
+from repro.obs.ledger import BUCKETS
 from repro.oracle.invariants import Violation, check_all
 from repro.oracle.schedule import FailureSchedule, ScheduleFuzzer
 from repro.oracle.strategies import (STRATEGIES, StrategyRun, run_strategy,
                                      spec_variant)
 from repro.parallel.topology import ParallelLayout
+from repro.sim import Tracer
 from repro.workloads import TrainingJob, WorkloadSpec
 
 DEFAULT_ITERATIONS = 20
@@ -43,6 +46,11 @@ class Verdict:
     schedule: FailureSchedule
     outcome: str                       # "exact" | "violation" | "unrecoverable"
     violations: tuple[Violation, ...] = ()
+    #: Flight-recorder dump (timeline tail + failing-vs-golden diff);
+    #: captured only when the check failed.
+    flight_dump: Optional[str] = None
+    #: Goodput ledger of the checked run (always built).
+    ledger: Optional[GoodputLedger] = None
 
     @property
     def passed(self) -> bool:
@@ -108,6 +116,10 @@ class RecoveryOracle:
         #: Checkpoint-store counters summed over runs checked so far
         #: (writes torn, bit rot injected, objects quarantined, ...).
         self.storage_stats: dict[str, int] = {}
+        #: Goodput-bucket seconds (exact fractions) summed over runs
+        #: checked so far; every bucket of every ledger lands here.
+        self.goodput_buckets: dict[str, object] = {b: 0 for b in BUCKETS}
+        self._golden_tracers: dict[str, Tracer] = {}
 
     def golden(self, strategy: str) -> list[float]:
         """Failure-free loss stream for *strategy*'s workload variant."""
@@ -117,6 +129,20 @@ class RecoveryOracle:
             self._goldens[key] = list(
                 TrainingJob(variant).run_training(self.iterations)[0])
         return self._goldens[key]
+
+    def golden_tracer(self, strategy: str) -> Tracer:
+        """Traced failure-free reference run for flight-recorder diffs.
+
+        Only built on demand (the first invariant failure for a workload
+        variant); memoized like the golden loss streams.
+        """
+        variant = spec_variant(self.spec, strategy)
+        key = variant.optimizer
+        if key not in self._golden_tracers:
+            tracer = Tracer(enabled=True)
+            TrainingJob(variant, tracer=tracer).run_training(self.iterations)
+            self._golden_tracers[key] = tracer
+        return self._golden_tracers[key]
 
     def run(self, schedule: FailureSchedule, strategy: str) -> StrategyRun:
         return run_strategy(strategy, self.spec, schedule, self.iterations,
@@ -128,6 +154,9 @@ class RecoveryOracle:
         for holder in (run.store, run.ram):
             for key, count in getattr(holder, "stats", {}).items():
                 self.storage_stats[key] = self.storage_stats.get(key, 0) + count
+        ledger = build_strategy_ledger(run, self.spec.world_size)
+        for bucket, amount in ledger.buckets.items():
+            self.goodput_buckets[bucket] = self.goodput_buckets[bucket] + amount
         violations = tuple(check_all(run, self.golden(strategy)))
         if not violations:
             outcome = "exact"
@@ -135,8 +164,13 @@ class RecoveryOracle:
             outcome = "unrecoverable"
         else:
             outcome = "violation"
+        dump = None
+        if violations:
+            dump = flight_dump(run.tracer, self.golden_tracer(strategy),
+                               failing_telemetry=run.telemetry)
         return Verdict(strategy=strategy, schedule=schedule,
-                       outcome=outcome, violations=violations)
+                       outcome=outcome, violations=violations,
+                       flight_dump=dump, ledger=ledger)
 
     def check_all(self, schedule: FailureSchedule) -> dict[str, Verdict]:
         return {strategy: self.check(schedule, strategy)

@@ -68,6 +68,8 @@ class StrategyRun:
     gc_violations: list = field(default_factory=list)
     #: Simulator events the run dispatched (perf telemetry).
     events: int = 0
+    #: ``env.now`` when the run ended (goodput-ledger wall clock).
+    wall_time: float = 0.0
     #: The shared checkpoint store (quarantine invariant evidence).
     store: Optional[object] = None
     #: Gemini's buddy-RAM store, when the strategy uses one.
@@ -235,6 +237,7 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
     env = Environment()
     tracer = Tracer()
     store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
+    store.tracer = tracer
     cls = SwiftJitSystem if strategy == "swift" else TransparentJitSystem
     system = cls(env, spec, store=store, config=JitConfig(), tracer=tracer)
     job = system.build_job()
@@ -258,10 +261,16 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
         run.outcome = "unrecoverable"
         run.detail = str(exc)
         run.events = env.events_processed
+        run.wall_time = env.now
+        # Close anything the abort left open so report paths (breakdowns,
+        # ledger, flight dumps) see finished spans with aborted marks.
+        system.telemetry.close_open(at=env.now)
+        tracer.close_open_spans(env.now)
         return run
     run.losses = list(losses[0])
     run.completed = True
     run.events = env.events_processed
+    run.wall_time = env.now
     return run
 
 
@@ -387,6 +396,7 @@ def _run_managed(strategy: str, spec: WorkloadSpec,
     env = Environment()
     tracer = Tracer()
     store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
+    store.tracer = tracer
     runner = _build_managed_runner(strategy, env, spec, store, iterations,
                                    tracer)
     for name in mutations:
@@ -413,10 +423,14 @@ def _run_managed(strategy: str, spec: WorkloadSpec,
     run.completed = report.completed
     run.generations = list(report.generations)
     run.events = env.events_processed
+    run.wall_time = env.now
     if not report.completed:
         run.outcome = "unrecoverable"
         run.detail = (report.generations[-1].detail
                       if report.generations else "did not complete")
+        if run.telemetry is not None:
+            run.telemetry.close_open(at=env.now)
+        tracer.close_open_spans(env.now)
     return run
 
 

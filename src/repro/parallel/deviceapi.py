@@ -29,6 +29,7 @@ from repro.cuda.runtime import CudaContext
 from repro.cuda.stream import CudaStream, StreamOp
 from repro.nccl.communicator import NcclCommunicator
 from repro.nccl.rendezvous import ReduceOp
+from repro.obs import flags as obs
 
 
 class DeviceApi:
@@ -37,18 +38,32 @@ class DeviceApi:
     def __init__(self, ctx: CudaContext, rank: int):
         self.ctx = ctx
         self.rank = rank
+        #: Open iteration span handle (observability; None when untraced).
+        self._iteration_span = None
 
     @property
     def env(self):
         return self.ctx.env
 
-    # -- lifecycle hooks (no-ops in the passthrough) ------------------------------
+    # -- lifecycle hooks (iteration spans; otherwise no-ops) ----------------------
+    #
+    # The minibatch hooks run once per iteration per rank (cold path), so
+    # the observability span costs one flag check when tracing is off and
+    # one span record when it is on.  Subclasses overriding these hooks
+    # must call super() to keep the goodput ledger's iteration spans.
 
     def minibatch_begin(self, iteration: int) -> None:
-        pass
+        tracer = self.ctx.tracer
+        if obs.enabled() and tracer.enabled:
+            self._iteration_span = tracer.begin_span(
+                self.ctx.env.now, f"rank{self.rank}", "iteration",
+                iteration=iteration)
 
     def minibatch_end(self, iteration: int) -> None:
-        pass
+        span = self._iteration_span
+        if span is not None:
+            self.ctx.tracer.end_span(span, self.ctx.env.now)
+            self._iteration_span = None
 
     def optimizer_step_begin(self, iteration: int) -> None:
         pass

@@ -29,7 +29,7 @@ from repro.sim.core import (
 )
 from repro.sim.conditions import AllOf, AnyOf, Condition
 from repro.sim.resources import Mailbox, Resource
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import TraceEvent, TraceSpan, Tracer
 
 __all__ = [
     "AllOf",
@@ -48,5 +48,6 @@ __all__ = [
     "SimulationError",
     "Timeout",
     "TraceEvent",
+    "TraceSpan",
     "Tracer",
 ]

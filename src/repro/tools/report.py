@@ -2,20 +2,32 @@
 
 Usage::
 
-    python -m repro.tools.report            # all sections
-    python -m repro.tools.report table3     # one section
+    python -m repro.tools.report                 # all sections (except trace)
+    python -m repro.tools.report table3          # one section
     python -m repro.tools.report table8 s51 recommend
+    python -m repro.tools.report oracle --json   # machine-readable output
+    python -m repro.tools.report trace --out run.json   # Chrome trace export
 
 Everything here is closed-form (Section 5 equations over the calibrated
 hardware model), except the ``perf`` section, which exercises the
 simulator kernel and the campaign engine for real to report events/sec
-and cache hit-rate; the simulation-backed tables (4-7) live in
-``benchmarks/`` because they execute failures end to end.
+and cache hit-rate; the ``oracle``/``storage``/``goodput`` sections,
+which run the recovery-equivalence oracle end to end; and ``trace``,
+which exports a recovery-bearing run as Chrome trace-event JSON
+(load it at ``chrome://tracing`` or https://ui.perfetto.dev).  The
+simulation-backed tables (4-7) live in ``benchmarks/`` because they
+execute failures end to end.
+
+Every section accepts ``--json``: sections then print nothing and the
+tool emits one JSON object keyed by section name.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+from typing import Optional
 
 from repro.analysis import (
     CalibratedParameters,
@@ -39,12 +51,8 @@ def _rule(width: int = 78) -> None:
     print("-" * width)
 
 
-def report_table3() -> None:
-    print("\nTable 3 — steady-state checkpointing overhead % "
-          "(optimal frequency, f = 2/day per 992 GPUs)")
-    _rule()
-    print(f"{'Model':<12} {'PC_disk':>9} {'PC_mem':>9} {'CheckFreq':>10} "
-          f"{'PC_1/day':>10} {'JIT-C':>7}")
+def report_table3(json_mode: bool = False) -> dict:
+    rows = []
     failure_rate = OPT_FAILURE_RATE_PER_GPU_PER_DAY / SECONDS_PER_DAY
     for name in ("GPT2-S", "GPT2-XL", "GPT2-8B", "GPT2-18B", "BERT-L-PT",
                  "BERT-B-FT"):
@@ -56,16 +64,24 @@ def report_table3() -> None:
             cells.append(100 * c * o)
         once_daily = 100 * critical_path_seconds(
             spec, CheckpointMode.PC_MEM) / SECONDS_PER_DAY
-        print(f"{name:<12} {cells[0]:>8.3f}% {cells[1]:>8.3f}% "
-              f"{cells[2]:>9.3f}% {once_daily:>9.4f}% {'~0':>7}")
+        rows.append({"model": name, "pc_disk_pct": cells[0],
+                     "pc_mem_pct": cells[1], "checkfreq_pct": cells[2],
+                     "pc_once_daily_pct": once_daily})
+    if not json_mode:
+        print("\nTable 3 — steady-state checkpointing overhead % "
+              "(optimal frequency, f = 2/day per 992 GPUs)")
+        _rule()
+        print(f"{'Model':<12} {'PC_disk':>9} {'PC_mem':>9} {'CheckFreq':>10} "
+              f"{'PC_1/day':>10} {'JIT-C':>7}")
+        for row in rows:
+            print(f"{row['model']:<12} {row['pc_disk_pct']:>8.3f}% "
+                  f"{row['pc_mem_pct']:>8.3f}% {row['checkfreq_pct']:>9.3f}% "
+                  f"{row['pc_once_daily_pct']:>9.4f}% {'~0':>7}")
+    return {"rows": rows}
 
 
-def report_table8() -> None:
-    print("\nTable 8 — wasted-GPU-time scaling (w_f at optimal periodic "
-          "frequency vs JIT)")
-    _rule()
-    print(f"{'Model':<12} {'N':>6} {'c*/hr':>8} {'periodic':>9} "
-          f"{'user JIT':>9} {'transparent':>12}")
+def report_table8(json_mode: bool = False) -> dict:
+    rows = []
     for name in ("BERT-L-PT", "BERT-B-FT", "GPT2-S", "GPT2-8B"):
         params = CalibratedParameters.from_spec(WORKLOADS[name]).params
         transparent = CostParameters(params.checkpoint_overhead,
@@ -74,51 +90,83 @@ def report_table8() -> None:
         for n in (4, 1024, 8192):
             c_star = optimal_checkpoint_frequency(
                 n, params.failure_rate, params.checkpoint_overhead)
-            print(f"{name:<12} {n:>6} {c_star * 3600:>8.2f} "
-                  f"{100 * wasted_fraction(periodic_wasted_per_gpu(n, params)):>8.3f}% "
-                  f"{100 * wasted_fraction(jit_user_level_wasted_per_gpu(n, params)):>8.3f}% "
-                  f"{100 * wasted_fraction(jit_transparent_wasted_per_gpu(n, transparent)):>11.4f}%")
+            rows.append({
+                "model": name, "n": n, "c_star_per_hr": c_star * 3600,
+                "periodic_pct": 100 * wasted_fraction(
+                    periodic_wasted_per_gpu(n, params)),
+                "user_jit_pct": 100 * wasted_fraction(
+                    jit_user_level_wasted_per_gpu(n, params)),
+                "transparent_pct": 100 * wasted_fraction(
+                    jit_transparent_wasted_per_gpu(n, transparent)),
+            })
+    if not json_mode:
+        print("\nTable 8 — wasted-GPU-time scaling (w_f at optimal periodic "
+              "frequency vs JIT)")
+        _rule()
+        print(f"{'Model':<12} {'N':>6} {'c*/hr':>8} {'periodic':>9} "
+              f"{'user JIT':>9} {'transparent':>12}")
+        for row in rows:
+            print(f"{row['model']:<12} {row['n']:>6} "
+                  f"{row['c_star_per_hr']:>8.2f} "
+                  f"{row['periodic_pct']:>8.3f}% "
+                  f"{row['user_jit_pct']:>8.3f}% "
+                  f"{row['transparent_pct']:>11.4f}%")
+    return {"rows": rows}
 
 
-def report_s51() -> None:
-    print("\nSection 5.1 — monthly dollar cost of failures ($4/GPU-hour, "
-          "30-minute periodic checkpoints)")
-    _rule()
+def report_s51(json_mode: bool = False) -> dict:
+    rows = []
     for n in (1000, 4000, 10_000):
         failures_per_day = n / 1000.0
         cost = dollar_cost_per_month(n, failures_per_day,
                                      lost_hours_per_failure=0.25)
-        print(f"{n:>7} GPUs: {failures_per_day:>5.1f} failures/day -> "
-              f"${cost:>12,.0f}/month")
+        rows.append({"n_gpus": n, "failures_per_day": failures_per_day,
+                     "dollars_per_month": cost})
+    if not json_mode:
+        print("\nSection 5.1 — monthly dollar cost of failures ($4/GPU-hour, "
+              "30-minute periodic checkpoints)")
+        _rule()
+        for row in rows:
+            print(f"{row['n_gpus']:>7} GPUs: {row['failures_per_day']:>5.1f} "
+                  f"failures/day -> ${row['dollars_per_month']:>12,.0f}/month")
+    return {"rows": rows}
 
 
-def report_recommendation() -> None:
-    print("\nStrategy recommendation (observed: 60 failures / 30 days / "
-          "992 GPUs)")
-    _rule()
+def report_recommendation(json_mode: bool = False) -> dict:
+    rows = []
     estimate = MtbfEstimate(failures=60,
                             gpu_seconds=992 * 30 * SECONDS_PER_DAY)
     for name in ("BERT-L-PT", "GPT2-8B"):
         params = CalibratedParameters.from_spec(WORKLOADS[name]).params
         for n in (1024, 8192):
             rec = recommend_strategy(estimate, n, params)
-            interval = (f"periodic every {rec.checkpoint_interval_seconds / 3600:.1f} h"
-                        if rec.checkpoint_interval_seconds else "no periodic")
-            print(f"{name:<12} N={n:<6} -> {rec.strategy:<14} ({interval}; "
-                  f"expected waste {100 * rec.expected_wasted_fraction:.3f}%)")
+            rows.append({
+                "model": name, "n": n, "strategy": rec.strategy,
+                "checkpoint_interval_seconds": rec.checkpoint_interval_seconds,
+                "expected_wasted_fraction": rec.expected_wasted_fraction,
+            })
+    if not json_mode:
+        print("\nStrategy recommendation (observed: 60 failures / 30 days / "
+              "992 GPUs)")
+        _rule()
+        for row in rows:
+            interval = (f"periodic every "
+                        f"{row['checkpoint_interval_seconds'] / 3600:.1f} h"
+                        if row["checkpoint_interval_seconds"]
+                        else "no periodic")
+            print(f"{row['model']:<12} N={row['n']:<6} -> "
+                  f"{row['strategy']:<14} ({interval}; expected waste "
+                  f"{100 * row['expected_wasted_fraction']:.3f}%)")
+    return {"rows": rows}
 
 
-def report_perf() -> None:
+def report_perf(json_mode: bool = False) -> dict:
     """Simulator kernel throughput and campaign-engine cache behaviour."""
     import tempfile
     import time
 
     from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
     from repro.sim import Environment
-
-    print("\nSimulator performance — kernel events/sec and campaign "
-          "engine cache hit-rate")
-    _rule()
 
     def ticker(env, n):
         for _ in range(n):
@@ -130,8 +178,6 @@ def report_perf() -> None:
     start = time.perf_counter()
     env.run()
     wall = time.perf_counter() - start
-    print(f"kernel event loop: {env.events_processed} events in "
-          f"{wall * 1e3:.1f} ms -> {env.events_processed / wall:,.0f} events/s")
 
     campaign = CampaignSpec.grid(
         "report-perf", workloads=["GPT2-S"], policies=["user_jit"],
@@ -142,78 +188,173 @@ def report_perf() -> None:
         runner = CampaignRunner(cache=ResultCache(cache_dir), workers=1)
         cold = runner.run(campaign)
         warm = runner.run(campaign)
-    print(f"campaign engine (cold): {cold.perf.describe()}")
-    print(f"campaign engine (warm): {warm.perf.describe()}")
-    print("(see BENCH_simulator.json for the tracked per-bench baseline; "
-          "refresh with benchmarks/run_perf_baseline.py)")
+    data = {
+        "kernel": {"events": env.events_processed, "wall_seconds": wall,
+                   "events_per_sec": env.events_processed / wall},
+        "campaign_cold": {"cache_hits": cold.perf.cache_hits,
+                          "executed": cold.perf.cache_misses,
+                          "wall_seconds": cold.perf.wall_seconds},
+        "campaign_warm": {"cache_hits": warm.perf.cache_hits,
+                          "executed": warm.perf.cache_misses,
+                          "wall_seconds": warm.perf.wall_seconds},
+    }
+    if not json_mode:
+        print("\nSimulator performance — kernel events/sec and campaign "
+              "engine cache hit-rate")
+        _rule()
+        print(f"kernel event loop: {env.events_processed} events in "
+              f"{wall * 1e3:.1f} ms -> "
+              f"{env.events_processed / wall:,.0f} events/s")
+        print(f"campaign engine (cold): {cold.perf.describe()}")
+        print(f"campaign engine (warm): {warm.perf.describe()}")
+        print("(see BENCH_simulator.json for the tracked per-bench baseline; "
+              "refresh with benchmarks/run_perf_baseline.py)")
+    return data
 
 
-def report_oracle() -> None:
+def report_oracle(json_mode: bool = False) -> dict:
     """Recovery-equivalence fuzz sweep across every recovery strategy."""
     from repro.campaign import CampaignRunner, CampaignSpec
     from repro.oracle import STRATEGIES
 
-    print("\nRecovery-equivalence oracle — seeded chaos fuzz across all "
-          "strategies")
-    _rule()
     campaign = CampaignSpec.oracle_grid(
         "report-oracle", strategies=STRATEGIES, seeds=[7], fuzz_count=3,
         target_iterations=16)
     result = CampaignRunner(workers=1).run(campaign)
-    total_checks = 0
-    total_failures = 0
-    print(f"{'Strategy':<12} {'checks':>7} {'failing':>8}  verdicts")
-    for outcome in result.outcomes:
-        metrics = outcome.metrics
-        total_checks += metrics["checks"]
-        total_failures += metrics["failures"]
-        print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
-              f"{metrics['failures']:>8}  {', '.join(metrics['outcomes'])}")
-        for violation in metrics["violations"]:
-            print(f"    {violation}")
-        for schedule in metrics["failing_schedules"]:
-            print(f"    repro: python -m repro.oracle replay --strategy "
-                  f"{metrics['strategy']} --schedule '{schedule}'")
-    status = ("zero invariant violations" if total_failures == 0
-              else f"{total_failures} FAILING CHECKS")
-    print(f"\n{total_checks} checks across {len(STRATEGIES)} strategies: "
-          f"{status}")
+    rows = [outcome.metrics for outcome in result.outcomes]
+    total_checks = sum(m["checks"] for m in rows)
+    total_failures = sum(m["failures"] for m in rows)
+    if not json_mode:
+        print("\nRecovery-equivalence oracle — seeded chaos fuzz across all "
+              "strategies")
+        _rule()
+        print(f"{'Strategy':<12} {'checks':>7} {'failing':>8}  verdicts")
+        for metrics in rows:
+            print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
+                  f"{metrics['failures']:>8}  "
+                  f"{', '.join(metrics['outcomes'])}")
+            for violation in metrics["violations"]:
+                print(f"    {violation}")
+            for schedule in metrics["failing_schedules"]:
+                print(f"    repro: python -m repro.oracle replay --strategy "
+                      f"{metrics['strategy']} --schedule '{schedule}'")
+        status = ("zero invariant violations" if total_failures == 0
+                  else f"{total_failures} FAILING CHECKS")
+        print(f"\n{total_checks} checks across {len(STRATEGIES)} strategies: "
+              f"{status}")
+    return {"rows": rows, "checks": total_checks, "failures": total_failures}
 
 
-def report_storage() -> None:
+def report_storage(json_mode: bool = False) -> dict:
     """Checkpoint-store corruption grid: torn writes and bit rot at rest."""
     from repro.campaign import CampaignRunner, CampaignSpec
     from repro.oracle import STRATEGIES
     from repro.oracle.schedule import STORAGE_SHAPES
 
-    print("\nCheckpoint-store corruption — torn-write/bit-rot schedules, "
-          "manifest-validated recovery")
-    _rule()
     campaign = CampaignSpec.oracle_grid(
         "report-storage", strategies=STRATEGIES, seeds=[7], fuzz_count=2,
         target_iterations=14, shapes=STORAGE_SHAPES)
     result = CampaignRunner(workers=1).run(campaign)
-    total_failures = 0
+    rows = [outcome.metrics for outcome in result.outcomes]
+    total_failures = sum(m["failures"] for m in rows)
     storage: dict[str, int] = {}
-    print(f"{'Strategy':<12} {'checks':>7} {'failing':>8} {'torn':>6} "
-          f"{'rotted':>7} {'quarantined':>12}")
-    for outcome in result.outcomes:
-        metrics = outcome.metrics
-        stats = metrics.get("storage", {})
-        total_failures += metrics["failures"]
-        for key, count in stats.items():
+    for metrics in rows:
+        for key, count in metrics.get("storage", {}).items():
             storage[key] = storage.get(key, 0) + count
-        print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
-              f"{metrics['failures']:>8} {stats.get('writes_torn', 0):>6} "
-              f"{stats.get('bit_rot_injected', 0):>7} "
-              f"{stats.get('quarantined', 0):>12}")
-        for violation in metrics["violations"]:
-            print(f"    {violation}")
-    status = ("every strategy bitwise-exact under corruption"
-              if total_failures == 0 else f"{total_failures} FAILING CHECKS")
-    print(f"\ninjected: {storage.get('writes_torn', 0)} torn writes, "
-          f"{storage.get('bit_rot_injected', 0)} bit-rot flips; "
-          f"{storage.get('quarantined', 0)} objects quarantined — {status}")
+    if not json_mode:
+        print("\nCheckpoint-store corruption — torn-write/bit-rot schedules, "
+              "manifest-validated recovery")
+        _rule()
+        print(f"{'Strategy':<12} {'checks':>7} {'failing':>8} {'torn':>6} "
+              f"{'rotted':>7} {'quarantined':>12}")
+        for metrics in rows:
+            stats = metrics.get("storage", {})
+            print(f"{metrics['strategy']:<12} {metrics['checks']:>7} "
+                  f"{metrics['failures']:>8} "
+                  f"{stats.get('writes_torn', 0):>6} "
+                  f"{stats.get('bit_rot_injected', 0):>7} "
+                  f"{stats.get('quarantined', 0):>12}")
+            for violation in metrics["violations"]:
+                print(f"    {violation}")
+        status = ("every strategy bitwise-exact under corruption"
+                  if total_failures == 0
+                  else f"{total_failures} FAILING CHECKS")
+        print(f"\ninjected: {storage.get('writes_torn', 0)} torn writes, "
+              f"{storage.get('bit_rot_injected', 0)} bit-rot flips; "
+              f"{storage.get('quarantined', 0)} objects quarantined — "
+              f"{status}")
+    return {"rows": rows, "failures": total_failures, "storage": storage}
+
+
+def report_goodput(json_mode: bool = False) -> dict:
+    """GoodPut/BadPut ledger for every strategy, golden and single-failure.
+
+    Each run's buckets must satisfy the accounting identity exactly
+    (``productive + detection + rework + restart + idle ==
+    wall-clock × ranks`` as exact fractions); the section fails loudly if
+    any ledger is imbalanced.
+    """
+    from repro.obs import build_strategy_ledger
+    from repro.oracle.oracle import RecoveryOracle
+    from repro.oracle.schedule import FailurePoint, FailureSchedule
+
+    oracle = RecoveryOracle(iterations=10)
+    schedules = [
+        ("no-failure", FailureSchedule(points=())),
+        ("single GPU_HARD@it4",
+         FailureSchedule(points=(FailurePoint(4, "GPU_HARD", 1, offset=0.3),))),
+    ]
+    if not json_mode:
+        print("\nGoodPut ledger — every simulated rank-second classified "
+              "(identity: buckets == wall x ranks)")
+        _rule()
+    rows = []
+    imbalanced = 0
+    for label, schedule in schedules:
+        if not json_mode:
+            print(f"\n  {label}:")
+        for strategy in oracle.strategies:
+            run = oracle.run(schedule, strategy)
+            ledger = build_strategy_ledger(run, oracle.spec.world_size)
+            if not ledger.balanced:
+                imbalanced += 1
+            rows.append({"schedule": label, "strategy": strategy,
+                         **ledger.to_metrics()})
+            if not json_mode:
+                print(f"    {ledger.describe()}")
+    if not json_mode:
+        status = ("every ledger balanced bitwise" if imbalanced == 0
+                  else f"{imbalanced} IMBALANCED LEDGERS")
+        print(f"\n{len(rows)} runs: {status}")
+    return {"rows": rows, "imbalanced": imbalanced}
+
+
+def report_trace(json_mode: bool = False,
+                 out: str = "run_trace.json") -> dict:
+    """Export a recovery-bearing traced run as Chrome trace-event JSON."""
+    from repro.obs import chrome_trace_events, write_chrome_trace
+    from repro.oracle.oracle import RecoveryOracle
+    from repro.oracle.schedule import FailurePoint, FailureSchedule
+
+    oracle = RecoveryOracle(iterations=10)
+    schedule = FailureSchedule(
+        points=(FailurePoint(4, "GPU_HARD", 1, offset=0.3),))
+    run = oracle.run(schedule, "transparent")
+    events = chrome_trace_events(run.tracer, run.telemetry)
+    write_chrome_trace(out, run.tracer, run.telemetry,
+                       label="transparent GPU_HARD@it4")
+    data = {"out": out, "trace_events": len(events),
+            "spans": len(run.tracer.spans),
+            "strategy": "transparent",
+            "schedule": schedule.describe()}
+    if not json_mode:
+        print("\nChrome trace export — recovery-bearing transparent run")
+        _rule()
+        print(f"wrote {len(events)} trace events ({len(run.tracer.spans)} "
+              f"spans) to {out}")
+        print("open chrome://tracing or https://ui.perfetto.dev and load "
+              "the file")
+    return data
 
 
 SECTIONS = {
@@ -224,19 +365,47 @@ SECTIONS = {
     "perf": report_perf,
     "oracle": report_oracle,
     "storage": report_storage,
+    "goodput": report_goodput,
+    "trace": report_trace,
 }
 
+#: Sections run when none are named; ``trace`` writes a file, so it only
+#: runs when asked for explicitly.
+DEFAULT_SECTIONS = tuple(name for name in SECTIONS if name != "trace")
 
-def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    chosen = args or list(SECTIONS)
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.report",
+        description="Analytical tables, perf/oracle reports and trace export")
+    parser.add_argument("sections", nargs="*", metavar="section",
+                        help=f"sections to run (default: all except trace); "
+                             f"choose from {sorted(SECTIONS)}")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON object keyed by section instead "
+                             "of text")
+    parser.add_argument("--out", default="run_trace.json",
+                        help="output path for the trace section "
+                             "(default: %(default)s)")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(
+        argv if argv is not None else sys.argv[1:])
+    chosen = args.sections or list(DEFAULT_SECTIONS)
     unknown = [a for a in chosen if a not in SECTIONS]
     if unknown:
         print(f"unknown section(s) {unknown}; choose from {sorted(SECTIONS)}")
         return 2
+    payload = {}
     for section in chosen:
-        SECTIONS[section]()
-    print()
+        kwargs = {"out": args.out} if section == "trace" else {}
+        payload[section] = SECTIONS[section](json_mode=args.as_json, **kwargs)
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print()
     return 0
 
 

@@ -1,0 +1,99 @@
+"""Goodput-ledger accounting identity across all six strategies.
+
+The identity is structural — ``productive + detection + rework + restart
++ idle == wall-clock x ranks`` as exact :class:`fractions.Fraction`
+sums — so these tests assert bitwise equality, not approximate balance,
+under every oracle schedule shape the ledger must survive: failure-free
+golden runs, a single hard error, back-to-back hard errors, and a second
+failure landing during recovery.
+"""
+
+from fractions import Fraction
+from functools import lru_cache
+
+import pytest
+
+from repro.obs import BUCKETS, GoodputLedger, build_strategy_ledger, merge_buckets
+from repro.oracle.oracle import default_oracle_spec
+from repro.oracle.schedule import FailurePoint, FailureSchedule
+from repro.oracle.strategies import STRATEGIES, run_strategy
+
+SPEC = default_oracle_spec()
+ITERS = 8
+
+SCHEDULES = {
+    "no_failure": FailureSchedule(points=()),
+    "single": FailureSchedule(points=(
+        FailurePoint(3, "GPU_HARD", 1, offset=0.4),)),
+    "back_to_back_hard": FailureSchedule(points=(
+        FailurePoint(3, "GPU_HARD", 1, offset=0.2),
+        FailurePoint(4, "GPU_HARD", 2, offset=0.5),)),
+    "during_recovery": FailureSchedule(points=(
+        FailurePoint(3, "GPU_STICKY", 0, offset=0.2),
+        FailurePoint(3, "GPU_HARD", 2, offset=2.4),)),
+}
+SHAPES = tuple(SCHEDULES)
+
+
+@lru_cache(maxsize=None)
+def ledger_for(strategy: str, shape: str) -> GoodputLedger:
+    run = run_strategy(strategy, SPEC, SCHEDULES[shape], ITERS)
+    return build_strategy_ledger(run, SPEC.world_size)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_accounting_identity_is_bitwise(strategy, shape):
+    ledger = ledger_for(strategy, shape)
+    assert ledger.balanced
+    # The identity spelled out: exact-fraction bucket sum == wall x ranks.
+    assert ledger.total == Fraction(ledger.wall_time) * SPEC.world_size
+    assert all(ledger.buckets[name] >= 0 for name in BUCKETS)
+    assert set(ledger.buckets) == set(BUCKETS)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_golden_runs_report_zero_badput(strategy):
+    ledger = ledger_for(strategy, "no_failure")
+    assert ledger.buckets["rework"] == 0
+    assert ledger.buckets["restart"] == 0
+    assert ledger.buckets["detection"] == 0
+    assert ledger.buckets["productive"] > 0
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_failure_runs_record_badput(strategy):
+    ledger = ledger_for(strategy, "single")
+    badput = (ledger.buckets["detection"] + ledger.buckets["rework"]
+              + ledger.buckets["restart"])
+    assert badput > 0
+    assert ledger.badput_fraction > 0.0
+    # A failure can only cost goodput relative to the golden run.
+    golden = ledger_for(strategy, "no_failure")
+    assert ledger.goodput_fraction < golden.goodput_fraction
+
+
+def test_to_metrics_is_flat_floats_with_balance_flag():
+    ledger = ledger_for("transparent", "single")
+    metrics = ledger.to_metrics()
+    assert metrics["goodput_balanced"] == 1.0
+    for name in BUCKETS:
+        value = metrics[f"goodput_{name}_seconds"]
+        assert isinstance(value, float) and value >= 0.0
+    assert 0.0 <= metrics["goodput_fraction"] <= 1.0
+    assert 0.0 <= metrics["goodput_badput_fraction"] <= 1.0
+
+
+def test_merge_buckets_sums_exactly():
+    ledgers = [ledger_for("transparent", "no_failure"),
+               ledger_for("transparent", "single")]
+    merged = merge_buckets(ledgers)
+    for name in BUCKETS:
+        assert merged[name] == sum(
+            (ledger.buckets[name] for ledger in ledgers), Fraction(0))
+
+
+def test_describe_flags_identity():
+    text = ledger_for("swift", "single").describe()
+    assert "identity exact" in text
+    assert "swift" in text

@@ -1,6 +1,6 @@
 """Unit tests for the trace recorder."""
 
-from repro.sim import Environment, TraceEvent, Tracer
+from repro.sim import Environment, TraceEvent, TraceSpan, Tracer
 
 
 def test_records_in_order_with_details():
@@ -56,3 +56,84 @@ def test_trace_event_str_sorted_details():
     event = TraceEvent(1.5, "gpu0", "op_done", {"z": 1, "a": 2})
     text = str(event)
     assert text.index("a=2") < text.index("z=1")
+
+
+# -- spans -------------------------------------------------------------------------
+
+
+def test_span_begin_end_records_interval():
+    tracer = Tracer(enabled=True)
+    handle = tracer.begin_span(1.0, "rank0", "iteration", iteration=4)
+    span = tracer.end_span(handle, 3.5, losses=1)
+    assert span == TraceSpan("rank0", "iteration", 1.0, 3.5, 0,
+                             {"iteration": 4, "losses": 1})
+    assert span.duration == 2.5
+    assert tracer.spans == [span]
+
+
+def test_spans_nest_by_depth():
+    tracer = Tracer(enabled=True)
+    outer = tracer.begin_span(0.0, "rank0", "iteration")
+    inner = tracer.begin_span(0.5, "rank0", "kernel")
+    assert inner.depth == 1
+    tracer.end_span(inner, 1.0)
+    tracer.end_span(outer, 2.0)
+    assert [s.depth for s in tracer.spans] == [1, 0]
+
+
+def test_end_span_closes_forgotten_inner_spans():
+    tracer = Tracer(enabled=True)
+    outer = tracer.begin_span(0.0, "rank0", "iteration")
+    tracer.begin_span(0.5, "rank0", "kernel")    # never explicitly ended
+    tracer.end_span(outer, 2.0)
+    names = {s.name for s in tracer.spans}
+    assert names == {"iteration", "kernel"}
+    assert all(s.end == 2.0 for s in tracer.spans)
+
+
+def test_disabled_tracer_spans_are_noops():
+    tracer = Tracer(enabled=False)
+    handle = tracer.begin_span(0.0, "rank0", "iteration")
+    assert handle is None
+    assert tracer.end_span(handle, 1.0) is None
+    assert tracer.spans == []
+
+
+def test_close_open_spans_marks_aborted():
+    tracer = Tracer(enabled=True)
+    tracer.begin_span(1.0, "rank0", "iteration", iteration=7)
+    closed = tracer.close_open_spans(4.0)
+    assert len(closed) == 1
+    span = closed[0]
+    assert span.end == 4.0 and span.detail["aborted"] is True
+    assert span.detail["iteration"] == 7
+    # Ending the stale handle afterwards is a no-op, not a double record.
+    assert len(tracer.spans) == 1
+
+
+def test_close_open_spans_never_produces_negative_duration():
+    tracer = Tracer(enabled=True)
+    tracer.begin_span(5.0, "rank0", "iteration")
+    (span,) = tracer.close_open_spans(2.0)   # close time before start
+    assert span.end == 5.0 and span.duration == 0.0
+
+
+def test_clear_resets_spans_too():
+    tracer = Tracer(enabled=True)
+    handle = tracer.begin_span(0.0, "a", "s")
+    tracer.end_span(handle, 1.0)
+    tracer.begin_span(2.0, "a", "open")
+    tracer.clear()
+    assert tracer.spans == [] and tracer.close_open_spans(9.0) == []
+
+
+def test_filter_spans():
+    tracer = Tracer(enabled=True)
+    for actor in ("rank0", "rank1"):
+        h = tracer.begin_span(0.0, actor, "iteration")
+        tracer.end_span(h, 1.0)
+    h = tracer.begin_span(1.0, "rank0", "kernel")
+    tracer.end_span(h, 2.0)
+    assert len(tracer.filter_spans(actor="rank0")) == 2
+    assert len(tracer.filter_spans(name="iteration")) == 2
+    assert len(tracer.filter_spans(actor="rank0", name="kernel")) == 1
