@@ -67,6 +67,36 @@ def run_traced_ddp_training(iterations: int = 10) -> Environment:
     return job.env
 
 
+def run_metrics_ddp_training(iterations: int = 10) -> Environment:
+    """The traced DDP scenario with the metrics registry collecting too:
+    every instrumentation site live (storage, rendezvous, stream gauges)
+    plus the sim-clock scraper sampling at 0.5 simulated seconds.  The
+    gap to ``run_ddp_training`` is the full metrics-pipeline overhead
+    ``docs/performance.md`` quotes; with ``REPRO_OBS=0`` the registry is
+    never installed and this measures the disabled fast path.
+    """
+    from repro.obs import flags as obs
+    from repro.obs import metrics
+    from repro.obs.metrics.instrument import attach_run_metrics
+    from repro.sim import Tracer
+
+    spec = WorkloadSpec(name="PERFMETRICS", model="GPT2-S",
+                        node_spec=V100_NODE, num_nodes=1,
+                        layout=ParallelLayout(dp=4), engine="ddp",
+                        framework="bench", minibatch_time=0.05)
+    tracer = Tracer(enabled=True)
+    job = TrainingJob(spec, tracer=tracer)
+    with metrics.collecting(scrape_interval=0.5) as reg:
+        if obs.enabled():
+            attach_run_metrics(job.env, reg)
+        losses = job.run_training(iterations)
+    assert len(losses[0]) == iterations
+    if obs.enabled():    # REPRO_OBS=0 runs measure the disabled fast path
+        assert reg.collect(), "metrics on: registry families expected"
+        assert reg.timeseries is not None and len(reg.timeseries) > 0
+    return job.env
+
+
 def run_3d_training(iterations: int = 6) -> Environment:
     """Full stack: 8-rank 3D with microbatching (heavier op mix)."""
     spec = WorkloadSpec(name="PERF3D", model="GPT2-S", node_spec=V100_NODE,
@@ -141,6 +171,7 @@ PERF_SCENARIOS = {
     "bench_event_loop_throughput": run_event_loop,
     "bench_ddp_training_throughput": run_ddp_training,
     "bench_trace_overhead_throughput": run_traced_ddp_training,
+    "bench_metrics_overhead_throughput": run_metrics_ddp_training,
     "bench_3d_training_throughput": run_3d_training,
     "bench_fsdp_training_throughput": run_fsdp_training,
     "bench_checkpoint_store_throughput": run_checkpoint_store,
@@ -162,6 +193,12 @@ def bench_ddp_training_throughput(benchmark):
 def bench_trace_overhead_throughput(benchmark):
     """DDP with the tracer enabled: spans + macro-chain trace records."""
     env = benchmark(run_traced_ddp_training)
+    assert env.events_processed > 0
+
+
+def bench_metrics_overhead_throughput(benchmark):
+    """Traced DDP with the metrics registry + sim-clock scraper live."""
+    env = benchmark(run_metrics_ddp_training)
     assert env.events_processed > 0
 
 

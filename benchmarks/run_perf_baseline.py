@@ -57,6 +57,9 @@ BENCH_THRESHOLDS = {
     # Same workload as the DDP bench plus live span/trace recording; the
     # extra python-level work makes wall clock a bit noisier still.
     "bench_trace_overhead_throughput": 0.30,
+    # Trace bench plus registry updates and scraper samples; the extra
+    # bookkeeping is python dict/Fraction work with the same noise floor.
+    "bench_metrics_overhead_throughput": 0.30,
     "bench_3d_training_throughput": 0.30,
     "bench_fsdp_training_throughput": 0.30,
     # Dominated by real sha256 digesting of payloads (manifest writes and

@@ -33,6 +33,8 @@ from repro.campaign.shmstore import DEFAULT_SLOT_BYTES, HAVE_SHM, ShmResultStore
 from repro.campaign.spec import (KIND_ANALYTIC, KIND_ORACLE, ORACLE_WORKLOAD,
                                  CampaignSpec, ScenarioSpec)
 from repro.core.telemetry import CampaignPerf
+from repro.obs.metrics import instrument as _instrument
+from repro.obs.metrics import registry as _metrics
 
 #: Hard floor on scenario workers (``workers=None`` means "all cores").
 _MIN_WORKERS = 1
@@ -450,6 +452,10 @@ class CampaignRunner:
             self._execute(pending, publish)
 
         perf.wall_seconds = time.perf_counter() - start
+        reg = _metrics.active()
+        if reg is not None:
+            busy = sum(run.wall_seconds for run in perf.runs)
+            _instrument.record_campaign_perf(reg, perf, self.workers, busy)
         outcomes = [ScenarioOutcome(spec, results[i], cached[i])
                     for i, spec in enumerate(campaign.scenarios)]
         return CampaignResult(campaign=campaign, outcomes=outcomes, perf=perf)

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.cuda.errors import CudaApiError, CudaError
 from repro.nccl.errors import NcclError, NcclOpMismatch
+from repro.obs.metrics import instrument as _instrument
+from repro.obs.metrics import registry as _metrics
 from repro.sim import Environment, Event
 
 
@@ -72,6 +74,7 @@ class CollectiveInstance:
         self._registrations: dict[int, _Registration] = {}
         self._arrival: Optional[Event] = None
         self._arrived: set[int] = set()
+        self._metric_arrivals: dict[int, float] = {}
         self._launched = False
         self._duration = 0.0
         self.completed = False
@@ -101,8 +104,15 @@ class CollectiveInstance:
         if self._arrival is None:
             self._arrival = self.env.event(name=f"collective:{self.name}")
         self._arrived.add(rank)
+        reg = _metrics.active()
+        if reg is not None:
+            self._metric_arrivals[rank] = self.env.now
         if self._arrived == self.participants and not self._launched:
             self._launched = True
+            if reg is not None and self._metric_arrivals:
+                _instrument.observe_rendezvous(
+                    reg, self.kind, self.env.now,
+                    self._metric_arrivals.values())
             total_nbytes = max((r.nbytes for r in self._registrations.values()),
                                default=0)
             self._duration = self._duration_fn(total_nbytes)
@@ -288,6 +298,7 @@ class BatchedCollectiveInstance:
         self._ok_fns: dict[int, Any] = {}
         self._arrival: Optional[Event] = None
         self._arrived: set[int] = set()
+        self._metric_arrivals: dict[int, float] = {}
         self._launched = False
         self._process = None
         self.completed = False
@@ -330,8 +341,15 @@ class BatchedCollectiveInstance:
         if self._arrival is None:
             self._arrival = self.env.event(name=f"collective:{self.name}")
         self._arrived.add(rank)
+        reg = _metrics.active()
+        if reg is not None:
+            self._metric_arrivals[rank] = self.env.now
         if self._arrived == self.participants and not self._launched:
             self._launched = True
+            if reg is not None and self._metric_arrivals:
+                _instrument.observe_rendezvous(
+                    reg, self.kind, self.env.now,
+                    self._metric_arrivals.values())
             self._process = self.env.process(self._transfer(),
                                              name=f"xfer:{self.name}")
         return self._arrival

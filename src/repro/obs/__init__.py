@@ -10,7 +10,10 @@ diagnostics:
   restart / idle, with a bitwise accounting identity;
 * :mod:`repro.obs.chrome` — Chrome trace-event JSON export (Perfetto);
 * :mod:`repro.obs.flight` — bounded flight-recorder ring + failing-vs-
-  golden timeline diff, dumped by the oracle on invariant failures.
+  golden timeline diff, dumped by the oracle on invariant failures;
+* :mod:`repro.obs.metrics` — Prometheus-style Counter/Gauge/Histogram
+  registry sampled in simulated time, with OpenMetrics/JSON export and a
+  bitwise bridge from the goodput ledger.
 
 Instrumentation hooks are gated on :func:`enabled` (process-global,
 ``REPRO_OBS=0`` to disable) *and* the run's tracer being enabled, so
@@ -22,8 +25,9 @@ from repro.obs.ledger import (BUCKETS, GoodputLedger, build_strategy_ledger,
                               merge_buckets)
 from repro.obs.chrome import (chrome_trace, chrome_trace_events,
                               write_chrome_trace)
-from repro.obs.flight import (DEFAULT_CAPACITY, FlightRecorder, flight_dump,
-                              timeline_diff)
+from repro.obs.flight import (DEFAULT_CAPACITY, FlightRecorder,
+                              default_capacity, flight_dump, timeline_diff)
+from repro.obs import metrics
 
 __all__ = [
     "BUCKETS",
@@ -33,9 +37,11 @@ __all__ = [
     "build_strategy_ledger",
     "chrome_trace",
     "chrome_trace_events",
+    "default_capacity",
     "enabled",
     "flight_dump",
     "merge_buckets",
+    "metrics",
     "observability",
     "set_enabled",
     "timeline_diff",

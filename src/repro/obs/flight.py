@@ -8,17 +8,36 @@ diff, so a replay reproducer ships with the moment the two runs parted.
 
 The ring is a plain ``collections.deque(maxlen=...)``: capturing a long
 run costs O(len) formatting once, at dump time, never during simulation.
+
+The default window is 120 records; set ``REPRO_FLIGHT_RECORDS`` to grow
+it when a divergence needs more history (campaign workers inherit it,
+like ``REPRO_OBS``).  The variable is read per capture, not at import,
+so a test harness can vary it without reloading modules; values that are
+not positive integers fall back to the default.
 """
 
 from __future__ import annotations
 
 import difflib
+import os
 from collections import deque
 from typing import Iterable, Optional
 
 from repro.sim.trace import Tracer
 
 DEFAULT_CAPACITY = 120
+
+
+def default_capacity() -> int:
+    """Ring size from ``REPRO_FLIGHT_RECORDS``, else :data:`DEFAULT_CAPACITY`."""
+    raw = os.environ.get("REPRO_FLIGHT_RECORDS")
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CAPACITY
+    return value if value > 0 else DEFAULT_CAPACITY
 
 
 def _timeline(tracer: Tracer, telemetry: Optional[object] = None) -> list[str]:
@@ -45,7 +64,11 @@ def _timeline(tracer: Tracer, telemetry: Optional[object] = None) -> list[str]:
 class FlightRecorder:
     """Bounded ring buffer over a run's merged timeline."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = default_capacity()
+        if capacity < 1:
+            raise ValueError("flight-recorder capacity must be >= 1")
         self.capacity = capacity
         self._ring: deque[str] = deque(maxlen=capacity)
 
@@ -73,13 +96,15 @@ class FlightRecorder:
 def timeline_diff(failing: Tracer, golden: Tracer,
                   failing_telemetry: Optional[object] = None,
                   golden_telemetry: Optional[object] = None,
-                  capacity: int = DEFAULT_CAPACITY,
+                  capacity: Optional[int] = None,
                   context: int = 3) -> str:
     """Unified diff between a failing run's timeline tail and the golden's.
 
     Both timelines are windowed to the flight-recorder capacity before
     diffing, so the output stays bounded no matter how long the run was.
     """
+    if capacity is None:
+        capacity = default_capacity()
     failing_lines = _timeline(failing, failing_telemetry)[-capacity:]
     golden_lines = _timeline(golden, golden_telemetry)[-capacity:]
     diff = list(difflib.unified_diff(golden_lines, failing_lines,
@@ -93,7 +118,7 @@ def timeline_diff(failing: Tracer, golden: Tracer,
 def flight_dump(failing: Tracer, golden: Optional[Tracer] = None,
                 failing_telemetry: Optional[object] = None,
                 golden_telemetry: Optional[object] = None,
-                capacity: int = DEFAULT_CAPACITY) -> str:
+                capacity: Optional[int] = None) -> str:
     """The full dump the oracle attaches to a failing verdict."""
     recorder = FlightRecorder(capacity)
     recorder.capture(failing, failing_telemetry)

@@ -138,15 +138,18 @@ def merge_buckets(ledgers: Iterable[GoodputLedger]) -> dict[str, Fraction]:
 
 
 class _Segment:
-    __slots__ = ("start", "end", "priority", "order", "bucket")
+    __slots__ = ("start", "end", "priority", "order", "bucket", "kind")
 
     def __init__(self, start: float, end: float, priority: int, order: int,
-                 bucket: str):
+                 bucket: str, kind: Optional[str] = None):
         self.start = start
         self.end = end
         self.priority = priority
         self.order = order
         self.bucket = bucket
+        #: Failure-type attribution (injector event kind / telemetry record
+        #: kind) for the metrics bridge; ``None`` for iteration segments.
+        self.kind = kind
 
 
 class _Counter:
@@ -208,12 +211,12 @@ def _recovery_segments(run, wall: float, order: _Counter) -> list[_Segment]:
         finish = record.finished_at if record.finished_at is not None else wall
         segments.append(_Segment(record.detected_at, finish,
                                  _P_RECOVERY_EPISODE, order.next(),
-                                 "detection"))
+                                 "detection", kind=record.kind))
         for phase in record.phases:
             end = phase.end if phase.end is not None else finish
             bucket = ("rework" if phase.name in _REWORK_PHASES else "restart")
             segments.append(_Segment(phase.start, end, _P_RECOVERY_PHASE,
-                                     order.next(), bucket))
+                                     order.next(), bucket, kind=record.kind))
     return segments
 
 
@@ -239,7 +242,8 @@ def _detection_segments(run, wall: float, order: _Counter) -> list[_Segment]:
         if end is None or end <= onset:
             continue        # absorbed failure (e.g. transient link blip)
         segments.append(_Segment(onset, end, _P_DETECTION, order.next(),
-                                 "detection"))
+                                 "detection",
+                                 kind=event.detail.get("kind")))
     return segments
 
 
@@ -255,12 +259,17 @@ def _restart_segments(run, ranks: int, wall: float, order: _Counter,
     generations = list(getattr(run, "generations", ()) or ())
     if len(generations) < 2:
         return segments
+    failures = run.tracer.filter(actor="injector", action="failure")
     for index in range(1, len(generations)):
         prev_end = generations[index - 1].end_time
         gen = generations[index]
         if prev_end is None:
             prev_end = gen.start_time
         gen_end = gen.end_time if gen.end_time is not None else wall
+        # The failure this restart recovers from: the last one injected
+        # before the new generation came up (metrics-bridge attribution).
+        kind = next((e.detail.get("kind") for e in reversed(failures)
+                     if e.time <= gen.start_time), None)
         for rank in range(ranks):
             spans = spans_by_rank.get(f"rank{rank}", [])
             first = next((s.start for s in spans
@@ -269,15 +278,36 @@ def _restart_segments(run, ranks: int, wall: float, order: _Counter,
             if end <= prev_end:
                 continue
             segments[rank].append(_Segment(prev_end, end, _P_RESTART,
-                                           order.next(), "restart"))
+                                           order.next(), "restart",
+                                           kind=kind))
     return segments
 
 
-def _classify_rank(segments: list[_Segment], wall: Fraction) -> dict[str, Fraction]:
+class ClassifiedInterval:
+    """One partition cell of a rank's timeline: who won it, and why."""
+
+    __slots__ = ("start", "end", "bucket", "kind", "segment_id")
+
+    def __init__(self, start: Fraction, end: Fraction, bucket: str,
+                 kind: Optional[str], segment_id: int):
+        self.start = start
+        self.end = end
+        self.bucket = bucket
+        self.kind = kind
+        #: Winning segment's insertion order (0 for idle gaps) — intervals
+        #: sharing a ``segment_id`` are fragments of one clipped segment.
+        self.segment_id = segment_id
+
+    @property
+    def length(self) -> Fraction:
+        return self.end - self.start
+
+
+def _partition_rank(segments: list[_Segment],
+                    wall: Fraction) -> list[ClassifiedInterval]:
     """Partition [0, wall] by strongest covering segment; gaps are idle."""
-    buckets = {name: Fraction(0) for name in BUCKETS}
     if wall <= 0:
-        return buckets
+        return []
     clipped = []
     points = {Fraction(0), wall}
     for seg in segments:
@@ -285,29 +315,132 @@ def _classify_rank(segments: list[_Segment], wall: Fraction) -> dict[str, Fracti
         end = max(Fraction(0), min(Fraction(seg.end), wall))
         if end <= start:
             continue
-        clipped.append((start, end, seg.priority, seg.order, seg.bucket))
+        clipped.append((start, end, seg.priority, seg.order, seg))
         points.add(start)
         points.add(end)
     boundaries = sorted(points)
+    intervals: list[ClassifiedInterval] = []
     for left, right in zip(boundaries, boundaries[1:]):
         winner = None
-        for start, end, priority, seg_order, bucket in clipped:
+        for start, end, priority, seg_order, seg in clipped:
             if start <= left and end >= right:
                 key = (priority, -seg_order)
                 if winner is None or key < winner[0]:
-                    winner = (key, bucket)
-        buckets[winner[1] if winner else "idle"] += right - left
-    return buckets
+                    winner = (key, seg)
+        if winner is None:
+            intervals.append(ClassifiedInterval(left, right, "idle", None, 0))
+        else:
+            seg = winner[1]
+            intervals.append(ClassifiedInterval(left, right, seg.bucket,
+                                                seg.kind, seg.order))
+    return intervals
 
 
-def build_strategy_ledger(run, ranks: int,
-                          wall_time: Optional[float] = None) -> GoodputLedger:
-    """Classify a :class:`~repro.oracle.strategies.StrategyRun` into buckets.
+@dataclass(frozen=True)
+class ResumeGap:
+    """Episode end → the rank is back inside an iteration (Table 7's
+    restart→resume phase).  Zero for in-place (transparent-family)
+    recovery, where the blocked minibatch simply continues."""
 
-    *ranks* is the workload's world size; *wall_time* defaults to the
-    run's recorded ``wall_time`` (``env.now`` when the run ended).  Open
-    telemetry records and trace spans (a run that aborted mid-recovery)
-    are closed at the wall with ``aborted`` marks before classification.
+    kind: Optional[str]
+    rank: int
+    start: float
+    seconds: Fraction
+
+
+@dataclass
+class RunClassification:
+    """The ledger's intermediate representation, exposed for the metrics
+    bridge: per-rank classified intervals plus per-episode resume gaps.
+
+    ``rank_buckets`` sums each rank's intervals;
+    :func:`build_strategy_ledger` totals them, so anything derived from
+    ``rank_intervals`` (the bridge's goodput counters and phase
+    histograms) reconciles with the ledger **bitwise by construction** —
+    same partition, same Fractions, not a parallel re-implementation.
+    """
+
+    strategy: str
+    ranks: int
+    wall_time: float
+    rank_intervals: dict[int, list[ClassifiedInterval]]
+    resume_gaps: list[ResumeGap]
+
+    @property
+    def rank_buckets(self) -> dict[int, dict[str, Fraction]]:
+        out: dict[int, dict[str, Fraction]] = {}
+        for rank, intervals in self.rank_intervals.items():
+            buckets = {name: Fraction(0) for name in BUCKETS}
+            for interval in intervals:
+                buckets[interval.bucket] += interval.length
+            out[rank] = buckets
+        return out
+
+    def totals(self) -> dict[str, Fraction]:
+        totals = {name: Fraction(0) for name in BUCKETS}
+        for buckets in self.rank_buckets.values():
+            for name in BUCKETS:
+                totals[name] += buckets[name]
+        return totals
+
+
+def _next_iteration_gap(spans: list, at: float, wall: float) -> Fraction:
+    """Seconds from *at* until the rank *starts* its next iteration.
+
+    Spans already running at *at* do not count: the iteration a recovery
+    interrupted stays open across the whole episode (its blocked CPU only
+    finishes the minibatch afterwards), so "covered by a span" holds for
+    every episode end and would make each gap vacuously zero.  Resuming
+    means beginning the next iteration, so only spans starting at or
+    after *at* qualify; a rank that never iterates again gaps to the
+    wall.
+    """
+    for span in spans:
+        if span.start >= at:
+            return Fraction(span.start) - Fraction(at)
+    return Fraction(wall) - Fraction(at) if wall > at else Fraction(0)
+
+
+def _resume_gaps(run, ranks: int, wall: float,
+                 spans_by_rank: dict[str, list]) -> list[ResumeGap]:
+    """Per-episode, per-rank restart→resume gaps (never clipped: this is
+    the one Table 7 phase the bucket partition has no dedicated bucket
+    for — the time lands in idle/productive — so it is measured from the
+    same episode sources instead)."""
+    gaps: list[ResumeGap] = []
+    telemetry = run.telemetry
+    if telemetry is not None:
+        for record in telemetry.records:
+            finish = (record.finished_at if record.finished_at is not None
+                      else wall)
+            for rank in range(ranks):
+                spans = spans_by_rank.get(f"rank{rank}", [])
+                gaps.append(ResumeGap(record.kind, rank, finish,
+                                      _next_iteration_gap(spans, finish,
+                                                          wall)))
+    generations = list(getattr(run, "generations", ()) or ())
+    if len(generations) >= 2:
+        failures = run.tracer.filter(actor="injector", action="failure")
+        for gen in generations[1:]:
+            kind = next((e.detail.get("kind") for e in reversed(failures)
+                         if e.time <= gen.start_time), None)
+            for rank in range(ranks):
+                spans = spans_by_rank.get(f"rank{rank}", [])
+                gaps.append(ResumeGap(kind, rank, gen.start_time,
+                                      _next_iteration_gap(spans,
+                                                          gen.start_time,
+                                                          wall)))
+    return gaps
+
+
+def classify_run(run, ranks: int,
+                 wall_time: Optional[float] = None) -> RunClassification:
+    """Classify a strategy run into per-rank labelled intervals.
+
+    This is the single source both :func:`build_strategy_ledger` and the
+    metrics bridge (:mod:`repro.obs.metrics.bridge`) consume: the ledger
+    sums interval lengths per bucket, the bridge additionally reads each
+    interval's failure-kind attribution and segment identity.
     """
     wall = wall_time if wall_time is not None else getattr(run, "wall_time", 0.0)
     if run.telemetry is not None:
@@ -324,13 +457,28 @@ def build_strategy_ledger(run, ranks: int,
     iteration_by_rank = _iteration_segments(spans_by_rank, order)
 
     wall_fraction = Fraction(wall)
-    totals = {name: Fraction(0) for name in BUCKETS}
+    rank_intervals: dict[int, list[ClassifiedInterval]] = {}
     for rank in range(ranks):
         segments = list(shared)
         segments += restart_by_rank.get(rank, [])
         segments += iteration_by_rank.get(f"rank{rank}", [])
-        rank_buckets = _classify_rank(segments, wall_fraction)
-        for name in BUCKETS:
-            totals[name] += rank_buckets[name]
+        rank_intervals[rank] = _partition_rank(segments, wall_fraction)
+    return RunClassification(
+        strategy=run.strategy, ranks=ranks, wall_time=wall,
+        rank_intervals=rank_intervals,
+        resume_gaps=_resume_gaps(run, ranks, wall, spans_by_rank))
+
+
+def build_strategy_ledger(run, ranks: int,
+                          wall_time: Optional[float] = None) -> GoodputLedger:
+    """Classify a :class:`~repro.oracle.strategies.StrategyRun` into buckets.
+
+    *ranks* is the workload's world size; *wall_time* defaults to the
+    run's recorded ``wall_time`` (``env.now`` when the run ended).  Open
+    telemetry records and trace spans (a run that aborted mid-recovery)
+    are closed at the wall with ``aborted`` marks before classification.
+    """
+    classification = classify_run(run, ranks, wall_time=wall_time)
     return GoodputLedger(strategy=run.strategy, ranks=ranks,
-                         wall_time=wall, buckets=totals)
+                         wall_time=classification.wall_time,
+                         buckets=classification.totals())

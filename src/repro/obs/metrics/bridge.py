@@ -1,0 +1,199 @@
+"""Ledger ↔ metrics bridge: strategy runs into registry families.
+
+The goodput ledger and the metrics layer must *agree* — a dashboard
+whose detection-latency panel disagrees with the ledger's detection
+bucket is worse than no dashboard.  So the bridge does not re-derive
+anything: it consumes the ledger's own intermediate representation
+(:func:`repro.obs.ledger.classify_run`'s per-rank classified intervals)
+and feeds the registry from it with exact ``Fraction`` arithmetic.  Two
+bitwise identities follow by construction, and
+``tests/obs/test_metrics_consistency.py`` pins both across all six
+strategies:
+
+* ``repro_goodput_seconds`` summed over ``(rank, bucket)`` equals
+  :func:`~repro.obs.ledger.build_strategy_ledger`'s buckets exactly;
+* the failure→detection and detection→restart histograms' exact sums,
+  totalled across failure types, equal the ledger's ``detection`` and
+  ``restart`` buckets exactly (each observation is one clipped episode
+  segment's per-rank contribution).
+
+The restart→resume histogram has no dedicated ledger bucket (that time
+is classified idle/productive); it is measured from the same episode
+sources (:class:`~repro.obs.ledger.ResumeGap`) and is zero for in-place
+transparent-family recovery by design.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.obs.ledger import BUCKETS, RunClassification, classify_run
+from repro.obs.metrics.registry import Histogram, MetricsRegistry
+from repro.obs.metrics.store import TimeSeriesStore
+
+#: Label used when a segment carries no failure-type attribution.
+UNATTRIBUTED = "unattributed"
+
+#: Phase-histogram bounds: detection windows are sub-second to tens of
+#: seconds; restart/resume run seconds to minutes on restart-based
+#: strategies.
+PHASE_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 40.0,
+                 80.0, 160.0, 320.0)
+
+#: Iteration-duration bounds (minibatches are ~0.05 s in oracle specs,
+#: seconds in the calibrated workloads).
+ITERATION_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                     10.0, 30.0)
+
+#: The ledger buckets each phase histogram must reconcile with.
+PHASE_TO_BUCKET = {"detection": "detection", "restart": "restart"}
+
+
+def _phase_histograms(registry: MetricsRegistry) -> dict[str, Histogram]:
+    return {
+        "detection": registry.histogram(
+            "repro_failure_detection_seconds",
+            "failure onset to recovery machinery engaging, per rank",
+            ("strategy", "failure_type"), buckets=PHASE_BUCKETS),
+        "restart": registry.histogram(
+            "repro_recovery_restart_seconds",
+            "recovery machinery runtime (comm/handle re-creation, "
+            "checkpoint restore, process restart), per rank",
+            ("strategy", "failure_type"), buckets=PHASE_BUCKETS),
+        "resume": registry.histogram(
+            "repro_recovery_resume_seconds",
+            "recovery end until the rank is training again, per rank",
+            ("strategy", "failure_type"), buckets=PHASE_BUCKETS),
+    }
+
+
+def record_strategy_run(registry: MetricsRegistry, run, ranks: int,
+                        wall_time: Optional[float] = None,
+                        classification: Optional[RunClassification] = None,
+                        ) -> RunClassification:
+    """Feed one strategy run's classification into *registry*.
+
+    Returns the classification so callers can also build the ledger from
+    it without re-partitioning.
+    """
+    cls = classification if classification is not None \
+        else classify_run(run, ranks, wall_time=wall_time)
+    strategy = cls.strategy
+
+    goodput = registry.counter(
+        "repro_goodput_seconds",
+        "ledger-classified rank-seconds (bitwise vs GoodputLedger)",
+        ("strategy", "rank", "bucket"))
+    wall = registry.counter(
+        "repro_run_wall_seconds", "simulated wall clock, summed over runs",
+        ("strategy",))
+    runs = registry.counter("repro_runs", "strategy runs recorded",
+                            ("strategy", "outcome"))
+    iteration = registry.histogram(
+        "repro_iteration_seconds", "per-rank iteration span durations",
+        ("strategy", "rank"), buckets=ITERATION_BUCKETS)
+    phases = _phase_histograms(registry)
+
+    for rank in sorted(cls.rank_intervals):
+        intervals = cls.rank_intervals[rank]
+        bucket_sums = {name: Fraction(0) for name in BUCKETS}
+        # One clipped segment may surface as several partition cells;
+        # per-rank fragments of the same segment are one episode-phase
+        # observation, so histogram counts stay per-episode.
+        phase_sums: dict[str, dict[tuple[int, str], Fraction]] = {
+            "detection": {}, "restart": {}}
+        for interval in intervals:
+            bucket_sums[interval.bucket] += interval.length
+            if interval.bucket in phase_sums:
+                kind = interval.kind if interval.kind else UNATTRIBUTED
+                key = (interval.segment_id, kind)
+                sums = phase_sums[interval.bucket]
+                sums[key] = sums.get(key, Fraction(0)) + interval.length
+        for name in BUCKETS:
+            if bucket_sums[name]:
+                goodput.labels(strategy=strategy, rank=str(rank),
+                               bucket=name).inc(bucket_sums[name])
+        for phase, sums in phase_sums.items():
+            histogram = phases[phase]
+            for (_segment_id, kind), seconds in sorted(sums.items()):
+                histogram.labels(strategy=strategy,
+                                 failure_type=kind).observe(seconds)
+
+    for gap in cls.resume_gaps:
+        kind = gap.kind if gap.kind else UNATTRIBUTED
+        phases["resume"].labels(strategy=strategy,
+                                failure_type=kind).observe(gap.seconds)
+
+    for span in run.tracer.filter_spans(name="iteration"):
+        iteration.labels(strategy=strategy,
+                         rank=span.actor).observe(span.duration)
+
+    wall.labels(strategy=strategy).inc(Fraction(cls.wall_time) * ranks)
+    runs.labels(strategy=strategy, outcome=run.outcome).inc()
+    return cls
+
+
+def record_run_environment(registry: MetricsRegistry, env,
+                           strategy: str) -> None:
+    """Post-run kernel totals: dispatched vs fast-path-credited events.
+
+    ``Environment.run`` caches its dispatch counter in a local, so these
+    totals are only correct once the run has returned — which is why
+    they are counters fed here rather than scrape-time gauges.
+    """
+    processed = registry.counter(
+        "repro_sim_events_dispatched", "real heap dispatches",
+        ("strategy",))
+    credited = registry.counter(
+        "repro_sim_events_credited",
+        "logical events elided by the macro-event fast path",
+        ("strategy",))
+    processed.labels(strategy=strategy).inc(env._processed)
+    credited.labels(strategy=strategy).inc(env._credited)
+
+
+def goodput_buckets_from_registry(registry: MetricsRegistry,
+                                  strategy: str) -> dict[str, Fraction]:
+    """Reconstruct a strategy's ledger buckets from the goodput counter."""
+    totals = {name: Fraction(0) for name in BUCKETS}
+    family = registry.get("repro_goodput_seconds")
+    if family is None:
+        return totals
+    for labels, child in family.children():
+        values = family.label_dict(labels)
+        if values["strategy"] == strategy:
+            totals[values["bucket"]] += child.exact
+    return totals
+
+
+def goodput_buckets_from_store(store: TimeSeriesStore,
+                               strategy: str) -> dict[str, Fraction]:
+    """Reconstruct ledger buckets from a scraped time-series store.
+
+    Counters are cumulative, so the *last* sample of each
+    ``repro_goodput_seconds`` series is its total; values stay exact
+    because the store keeps the registry's ``Fraction`` objects.
+    """
+    totals = {name: Fraction(0) for name in BUCKETS}
+    for series in store.series("repro_goodput_seconds"):
+        labels = series.label_dict()
+        if labels["strategy"] == strategy and series.last is not None:
+            totals[labels["bucket"]] += series.last
+    return totals
+
+
+def phase_seconds_from_registry(registry: MetricsRegistry, strategy: str,
+                                phase: str) -> Fraction:
+    """Exact total seconds in a phase histogram, across failure types."""
+    names = {"detection": "repro_failure_detection_seconds",
+             "restart": "repro_recovery_restart_seconds",
+             "resume": "repro_recovery_resume_seconds"}
+    family = registry.get(names[phase])
+    total = Fraction(0)
+    if family is None:
+        return total
+    for labels, child in family.children():
+        if family.label_dict(labels)["strategy"] == strategy:
+            total += child.exact_sum
+    return total

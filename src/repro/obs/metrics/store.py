@@ -1,0 +1,165 @@
+"""In-memory time series and the deterministic sim-clock scraper.
+
+Prometheus pulls metrics on a wall-clock schedule; here the scraper is a
+*simulation process*, so samples land at exact simulated timestamps and
+two runs of the same scenario produce byte-identical series.  The store
+keeps whatever value objects the registry holds — counter samples stay
+exact :class:`fractions.Fraction`, so series-derived totals reconcile
+bitwise with the goodput ledger.
+
+The scraper is strictly opt-in: it schedules timeout events on the run's
+:class:`~repro.sim.core.Environment`, which perturbs ``events_processed``
+and therefore must never be attached implicitly (the oracle's
+event-count equivalence checks would see it).  It stops itself when its
+wake-up finds the event queue otherwise empty, so a run that would have
+drained still terminates.
+
+One kernel caveat: ``Environment.run`` caches its dispatch counter in a
+local for speed and writes it back only when the loop exits, so
+``events_processed`` is stale *mid-run*.  Scrape-time gauges therefore
+sample live structures only (queue depths, clocks, stream backlogs);
+event totals are finalised post-run by the instrumentation helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.obs.metrics.registry import (Counter, Gauge, Histogram,
+                                        MetricsRegistry)
+
+Value = Union[int, float, Fraction]
+
+#: Simulated seconds between scrapes when the registry does not say.
+DEFAULT_SCRAPE_INTERVAL = 1.0
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    name: str
+    labels: tuple[str, ...]
+
+
+@dataclass
+class Series:
+    """One metric child's samples over simulated time."""
+
+    key: SeriesKey
+    labelnames: tuple[str, ...]
+    kind: str
+    samples: list[tuple[float, Value]] = field(default_factory=list)
+
+    @property
+    def last(self) -> Optional[Value]:
+        return self.samples[-1][1] if self.samples else None
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(zip(self.labelnames, self.key.labels))
+
+
+class TimeSeriesStore:
+    """Append-only map of ``(metric, labels) -> [(sim_time, value), ...]``."""
+
+    def __init__(self) -> None:
+        self._series: dict[SeriesKey, Series] = {}
+
+    def append(self, time: float, name: str, labels: tuple[str, ...],
+               labelnames: tuple[str, ...], kind: str, value: Value) -> None:
+        key = SeriesKey(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Series(key, labelnames, kind)
+        series.samples.append((time, value))
+
+    def series(self, name: str,
+               labels: Optional[tuple[str, ...]] = None) -> list[Series]:
+        """All series of *name* (or the one matching *labels* exactly)."""
+        out = [s for key, s in sorted(self._series.items(),
+                                      key=lambda kv: (kv[0].name, kv[0].labels))
+               if key.name == name
+               and (labels is None or key.labels == labels)]
+        return out
+
+    def last_value(self, name: str,
+                   labels: tuple[str, ...] = ()) -> Optional[Value]:
+        series = self._series.get(SeriesKey(name, labels))
+        return series.last if series is not None else None
+
+    def names(self) -> list[str]:
+        return sorted({key.name for key in self._series})
+
+    def all_series(self) -> list[Series]:
+        return [self._series[key] for key in
+                sorted(self._series, key=lambda k: (k.name, k.labels))]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+def sample_registry(registry: MetricsRegistry, store: TimeSeriesStore,
+                    time: float) -> None:
+    """Append one scrape of *registry* to *store* at simulated *time*.
+
+    Counters keep their exact ``Fraction`` values; gauges are read (and
+    callback gauges invoked) now; histograms land as two series,
+    ``<name>_count`` and ``<name>_sum`` (the sum exact), which is what
+    the dashboard's rate panels need.
+    """
+    for family in registry.collect():
+        for labels, child in family.children():
+            if isinstance(family, Counter):
+                store.append(time, family.name, labels, family.labelnames,
+                             "counter", child.exact)
+            elif isinstance(family, Gauge):
+                store.append(time, family.name, labels, family.labelnames,
+                             "gauge", child.value)
+            elif isinstance(family, Histogram):
+                store.append(time, f"{family.name}_count", labels,
+                             family.labelnames, "histogram", child.count)
+                store.append(time, f"{family.name}_sum", labels,
+                             family.labelnames, "histogram", child.exact_sum)
+
+
+class SimScraper:
+    """Samples the active registry on a fixed simulated-time cadence."""
+
+    def __init__(self, env, registry: MetricsRegistry,
+                 store: Optional[TimeSeriesStore] = None,
+                 interval: Optional[float] = None):
+        self.env = env
+        self.registry = registry
+        if store is None:
+            store = getattr(registry, "timeseries", None)
+        if store is None:
+            store = TimeSeriesStore()
+        if getattr(registry, "timeseries", None) is None:
+            registry.timeseries = store
+        self.store = store
+        if interval is None:
+            interval = registry.scrape_interval
+        self.interval = (interval if interval and interval > 0
+                         else DEFAULT_SCRAPE_INTERVAL)
+        self.scrapes = 0
+        self._started = False
+
+    def sample(self) -> None:
+        sample_registry(self.registry, self.store, self.env.now)
+        self.scrapes += 1
+
+    def start(self) -> "SimScraper":
+        if not self._started:
+            self._started = True
+            self.env.process(self._loop(), name="metrics-scraper")
+        return self
+
+    def _loop(self):
+        while True:
+            self.sample()
+            # The wake-up that finds nothing else scheduled is the run
+            # draining: take the final sample above and bow out, or the
+            # scraper alone would keep the simulation alive forever.
+            if not self.env._queue:
+                return
+            yield self.env.timeout(self.interval)

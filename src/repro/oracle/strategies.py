@@ -31,6 +31,10 @@ from typing import Callable, Optional, Sequence
 from repro.core import JitConfig, SwiftJitSystem, TransparentJitSystem
 from repro.failures.injector import FailureInjector
 from repro.failures.types import FailureType
+from repro.obs.metrics import bridge as _metrics_bridge
+from repro.obs.metrics import registry as _metrics
+from repro.obs.metrics.instrument import attach_run_metrics
+from repro.obs.metrics.store import sample_registry
 from repro.oracle.schedule import FailureSchedule
 from repro.sim import Environment, Tracer
 from repro.storage import SharedObjectStore
@@ -236,6 +240,9 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
                             mutations: Sequence[str]) -> StrategyRun:
     env = Environment()
     tracer = Tracer()
+    metrics_registry = _metrics.active()
+    if metrics_registry is not None:
+        attach_run_metrics(env, metrics_registry)
     store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
     store.tracer = tracer
     cls = SwiftJitSystem if strategy == "swift" else TransparentJitSystem
@@ -266,11 +273,17 @@ def _run_transparent_family(strategy: str, spec: WorkloadSpec,
         # ledger, flight dumps) see finished spans with aborted marks.
         system.telemetry.close_open(at=env.now)
         tracer.close_open_spans(env.now)
+        if metrics_registry is not None:
+            _metrics_bridge.record_run_environment(metrics_registry, env,
+                                                   strategy)
         return run
     run.losses = list(losses[0])
     run.completed = True
     run.events = env.events_processed
     run.wall_time = env.now
+    if metrics_registry is not None:
+        _metrics_bridge.record_run_environment(metrics_registry, env,
+                                               strategy)
     return run
 
 
@@ -395,6 +408,9 @@ def _run_managed(strategy: str, spec: WorkloadSpec,
                  mutations: Sequence[str]) -> StrategyRun:
     env = Environment()
     tracer = Tracer()
+    metrics_registry = _metrics.active()
+    if metrics_registry is not None:
+        attach_run_metrics(env, metrics_registry)
     store = SharedObjectStore(env, bandwidth=_STORE_BANDWIDTH)
     store.tracer = tracer
     runner = _build_managed_runner(strategy, env, spec, store, iterations,
@@ -431,6 +447,9 @@ def _run_managed(strategy: str, spec: WorkloadSpec,
         if run.telemetry is not None:
             run.telemetry.close_open(at=env.now)
         tracer.close_open_spans(env.now)
+    if metrics_registry is not None:
+        _metrics_bridge.record_run_environment(metrics_registry, env,
+                                               strategy)
     return run
 
 
@@ -455,6 +474,18 @@ def run_strategy(strategy: str, spec: WorkloadSpec,
                 f"(families: {MUTATION_FAMILIES[name]})")
     variant = spec_variant(spec, strategy)
     if strategy in TRANSPARENT_FAMILY:
-        return _run_transparent_family(strategy, variant, schedule,
-                                       iterations, mutations)
-    return _run_managed(strategy, variant, schedule, iterations, mutations)
+        run = _run_transparent_family(strategy, variant, schedule,
+                                      iterations, mutations)
+    else:
+        run = _run_managed(strategy, variant, schedule, iterations,
+                           mutations)
+    registry = _metrics.active()
+    if registry is not None:
+        _metrics_bridge.record_strategy_run(registry, run,
+                                            variant.world_size)
+        # Post-run families (goodput buckets, phase histograms, kernel
+        # totals) land after the in-sim scraper's final sample; append
+        # one closing scrape at wall time so the series see them too.
+        if registry.timeseries is not None:
+            sample_registry(registry, registry.timeseries, run.wall_time)
+    return run

@@ -42,6 +42,8 @@ from typing import Any, Generator, Optional
 import numpy as np
 
 from repro.obs import flags as obs
+from repro.obs.metrics import instrument as _instrument
+from repro.obs.metrics import registry as _metrics
 from repro.sim import Environment, Resource, Tracer
 from repro.storage.objects import StoredObject
 
@@ -215,6 +217,10 @@ class _BaseStore:
         if obs.enabled() and self.tracer.enabled:
             self.tracer.record(self.env.now, self.name, "store_write",
                                path=path, nbytes=int(nbytes), started=start)
+        reg = _metrics.active()
+        if reg is not None:
+            _instrument.observe_store_write(reg, self.name,
+                                            self.env.now - start, int(nbytes))
         if self._consume_trap(self._rot_traps, path):
             self._rot(obj, salt=self.stats["writes_completed"])
 
@@ -232,6 +238,11 @@ class _BaseStore:
             self.tracer.record(self.env.now, self.name, "store_read",
                                path=path, nbytes=int(obj.nbytes),
                                started=start)
+        reg = _metrics.active()
+        if reg is not None:
+            _instrument.observe_store_read(reg, self.name,
+                                           self.env.now - start,
+                                           int(obj.nbytes))
         return obj.payload
 
     def rename(self, src: str, dst: str) -> None:
@@ -250,6 +261,9 @@ class _BaseStore:
         if obs.enabled() and self.tracer.enabled:
             self.tracer.record(self.env.now, self.name, "store_commit",
                                src=src, dst=dst)
+        reg = _metrics.active()
+        if reg is not None:
+            _instrument.record_store_commit(reg, self.name)
 
     # -- metadata ------------------------------------------------------------------
 
@@ -339,6 +353,9 @@ class _BaseStore:
         if obs.enabled() and self.tracer.enabled:
             self.tracer.record(self.env.now, self.name, "store_quarantine",
                                path=path, quarantine=qpath)
+        reg = _metrics.active()
+        if reg is not None:
+            _instrument.record_quarantine(reg, self.name)
         return qpath
 
     def _guard_quarantine(self, path: str, action: str) -> bool:

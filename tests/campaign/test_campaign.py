@@ -440,3 +440,28 @@ def test_oracle_scenario_include_storage_changes_hash():
                            strategy="periodic", fuzz_count=2,
                            include_storage=True)
     assert base.content_hash() != storage.content_hash()
+
+
+def test_campaign_runner_feeds_metrics_registry(tmp_path):
+    """With a registry collecting, a campaign run lands its perf counters
+    (cache hits/misses, scenario count) and utilization gauges."""
+    from repro.obs import metrics, observability
+
+    campaign = small_campaign("metrics")
+    cache = ResultCache(tmp_path / "cache")
+    with observability(True), metrics.collecting() as reg:
+        CampaignRunner(cache=cache, workers=1).run(campaign)
+        CampaignRunner(cache=cache, workers=1).run(campaign)
+
+    scenarios = reg.get("repro_campaign_scenarios")
+    assert scenarios is not None
+    # The counter tracks simulated runs; the warm pass is all cache hits.
+    total = sum(child.exact for _, child in scenarios.children())
+    assert total == len(campaign)
+    hits = sum(child.exact for _, child in
+               reg.get("repro_campaign_cache_hits").children())
+    assert hits == len(campaign)          # second run fully warm
+    hit_rate = reg.get("repro_campaign_cache_hit_rate").value
+    assert hit_rate == 1.0                # gauge shows the latest run
+    utilization = reg.get("repro_campaign_worker_utilization").value
+    assert 0.0 <= utilization <= 1.0

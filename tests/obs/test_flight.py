@@ -104,3 +104,32 @@ def test_oracle_attaches_flight_dump_on_mutation_failure():
     good = clean.check(schedule, "transparent")
     assert good.passed and good.flight_dump is None
     assert good.ledger is not None and good.ledger.balanced
+
+
+def test_flight_records_env_var_sets_default_capacity(monkeypatch):
+    import pytest
+
+    from repro.obs import default_capacity
+
+    monkeypatch.delenv("REPRO_FLIGHT_RECORDS", raising=False)
+    assert default_capacity() == DEFAULT_CAPACITY
+    assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    monkeypatch.setenv("REPRO_FLIGHT_RECORDS", "7")
+    assert default_capacity() == 7
+    recorder = FlightRecorder()
+    assert recorder.capacity == 7
+    recorder.extend(str(i) for i in range(20))
+    assert len(recorder) == 7
+    assert recorder.lines == [str(i) for i in range(13, 20)]
+
+    # Junk and non-positive values fall back to the default.
+    for junk in ("zero", "", "-3", "0"):
+        monkeypatch.setenv("REPRO_FLIGHT_RECORDS", junk)
+        assert default_capacity() == DEFAULT_CAPACITY
+
+    # An explicit capacity always wins over the environment.
+    monkeypatch.setenv("REPRO_FLIGHT_RECORDS", "50")
+    assert FlightRecorder(capacity=3).capacity == 3
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(capacity=0)

@@ -1,0 +1,90 @@
+"""Pinned reproducers for the ROADMAP timing-edge divergences.
+
+The widened fuzz rotation surfaced pre-existing exactness failures (they
+reproduce on the seed commit; see ROADMAP.md "Timing edges exposed by
+widening the fuzz rotation").  Each is pinned here as a
+``xfail(strict=True)`` regression test: the suite stays green while the
+bugs are open, and the moment a fix lands the strict xfail flips to
+XPASS-as-failure, forcing the reproducer to be promoted to a plain
+passing test (and the CI seed matrix widened, per the roadmap).
+
+The schedules are the shrunk forms from the fuzz campaign:
+
+* ``single`` seed 2110000 — GPU_STICKY at iteration 11 + 0.04 s on
+  rank 1; gemini diverges.
+* ``during_recovery`` seed 2020003 — GPU_STICKY at iteration 10 +
+  0.10 s on rank 2, then GPU_DRIVER_CORRUPT lands mid-recovery at
+  iteration 10 + 2.76 s on rank 3; gemini diverges at 16 iterations,
+  periodic needs the 20-iteration horizon.
+* ``back_to_back_hard`` seed 70002 — GPU_HARD at iteration 2 + 0.04 s
+  on rank 1, then GPU_HARD at iteration 3 + 0.42 s on rank 2;
+  adaptive and gemini diverge at 16 iterations.
+"""
+
+import pytest
+
+from repro.oracle import FailurePoint, FailureSchedule, RecoveryOracle
+
+SINGLE_2110000 = FailureSchedule(points=(
+    FailurePoint(11, "GPU_STICKY", 1, offset=0.04),))
+
+DURING_RECOVERY_2020003 = FailureSchedule(points=(
+    FailurePoint(10, "GPU_STICKY", 2, offset=0.10),
+    FailurePoint(10, "GPU_DRIVER_CORRUPT", 3, offset=2.76),))
+
+BACK_TO_BACK_70002 = FailureSchedule(points=(
+    FailurePoint(2, "GPU_HARD", 1, offset=0.04),
+    FailurePoint(3, "GPU_HARD", 2, offset=0.42),))
+
+
+@pytest.fixture(scope="module")
+def oracle16():
+    return RecoveryOracle(iterations=16)
+
+
+@pytest.fixture(scope="module")
+def oracle20():
+    return RecoveryOracle(iterations=20)
+
+
+@pytest.mark.xfail(strict=True,
+                   reason="known timing edge: gemini diverges on "
+                          "single#2110000 (ROADMAP)")
+def test_gemini_single_sticky_late(oracle16):
+    verdict = oracle16.check(SINGLE_2110000, "gemini")
+    assert verdict.passed, verdict.describe()
+
+
+@pytest.mark.xfail(strict=True,
+                   reason="known timing edge: gemini diverges when a "
+                          "second failure lands mid-recovery "
+                          "(during_recovery#2020003, ROADMAP)")
+def test_gemini_failure_during_recovery(oracle16):
+    verdict = oracle16.check(DURING_RECOVERY_2020003, "gemini")
+    assert verdict.passed, verdict.describe()
+
+
+@pytest.mark.xfail(strict=True,
+                   reason="known timing edge: periodic diverges when a "
+                          "second failure lands mid-recovery at the "
+                          "20-iteration horizon (during_recovery#2020003, "
+                          "ROADMAP)")
+def test_periodic_failure_during_recovery(oracle20):
+    verdict = oracle20.check(DURING_RECOVERY_2020003, "periodic")
+    assert verdict.passed, verdict.describe()
+
+
+@pytest.mark.xfail(strict=True,
+                   reason="known timing edge: adaptive diverges on "
+                          "back_to_back_hard#70002 (ROADMAP)")
+def test_adaptive_back_to_back_hard(oracle16):
+    verdict = oracle16.check(BACK_TO_BACK_70002, "adaptive")
+    assert verdict.passed, verdict.describe()
+
+
+@pytest.mark.xfail(strict=True,
+                   reason="known timing edge: gemini diverges on "
+                          "back_to_back_hard#70002 (ROADMAP)")
+def test_gemini_back_to_back_hard(oracle16):
+    verdict = oracle16.check(BACK_TO_BACK_70002, "gemini")
+    assert verdict.passed, verdict.describe()
